@@ -1,0 +1,138 @@
+//! Criterion macro-benchmarks: one group per paper artifact, at reduced
+//! scale so `cargo bench` terminates quickly. These measure the wall-clock
+//! cost of regenerating each figure (simulation throughput), not the
+//! simulated results themselves — those are printed by the `fig*` binaries
+//! and recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smapp_bench::scenarios::{fig2a, fig2b, fig2c, fig3, sec42};
+
+fn bench_fig2a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2a");
+    g.sample_size(10);
+    g.bench_function("backup_switchover_1mb", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig2a::run(&fig2a::Params {
+                seed,
+                transfer: 1_000_000,
+                ..Default::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2b");
+    g.sample_size(10);
+    g.bench_function("smart_stream_10_blocks", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig2b::run_one(
+                &fig2b::Params {
+                    blocks: 10,
+                    loss: 0.30,
+                    manager: fig2b::Manager::SmartStream,
+                    ..Default::default()
+                },
+                seed,
+            )
+        })
+    });
+    g.bench_function("fullmesh_10_blocks", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig2b::run_one(
+                &fig2b::Params {
+                    blocks: 10,
+                    loss: 0.30,
+                    manager: fig2b::Manager::FullMesh,
+                    ..Default::default()
+                },
+                seed,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2c");
+    g.sample_size(10);
+    for (manager, name) in [
+        (fig2c::Manager::Refresh, "refresh_5mb"),
+        (fig2c::Manager::Ndiffports, "ndiffports_5mb"),
+    ] {
+        g.bench_function(name, |b| {
+            let mut seed = 1000;
+            b.iter(|| {
+                seed += 1;
+                fig2c::run_one(
+                    &fig2c::Params {
+                        transfer: 5_000_000,
+                        manager,
+                        ..Default::default()
+                    },
+                    seed,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for (manager, name) in [
+        (fig3::Manager::Kernel, "kernel_20_gets"),
+        (fig3::Manager::Userspace, "userspace_20_gets"),
+    ] {
+        g.bench_function(name, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                fig3::run(&fig3::Params {
+                    seed,
+                    gets: 20,
+                    response: 128 * 1024,
+                    manager,
+                    ..Default::default()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sec42(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec42");
+    g.sample_size(10);
+    g.bench_function("baseline_6_retries", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            sec42::run(&sec42::Params {
+                seed,
+                max_retries: 6,
+                transfer: 1_000_000,
+                ..Default::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2a,
+    bench_fig2b,
+    bench_fig2c,
+    bench_fig3,
+    bench_sec42
+);
+criterion_main!(figures);

@@ -1,0 +1,199 @@
+//! Criterion micro-benchmarks of the hot paths: wire codecs, crypto,
+//! reassembly, schedulers, netlink framing, ECMP hashing and the raw
+//! simulator event loop.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smapp_mptcp::crypto::{hmac_sha1, sha1};
+use smapp_mptcp::options::{Dss, DssMapping, MpOption};
+use smapp_mptcp::{LowestRtt, SchedCandidate, Scheduler};
+use smapp_netlink::{decode as nl_decode, encode_event};
+use smapp_sim::{Addr, FlowKey};
+use smapp_tcp::{Reassembly, TcpFlags, TcpHeader, TcpOption, TcpSegment};
+use std::hint::black_box;
+
+fn bench_tcp_codec(c: &mut Criterion) {
+    let seg = TcpSegment {
+        hdr: TcpHeader {
+            src_port: 43210,
+            dst_port: 80,
+            seq: 0xDEAD_BEEF.into(),
+            ack: 0x0102_0304.into(),
+            flags: TcpFlags::ACK,
+            window: 65535,
+            options: vec![TcpOption::Mptcp(
+                MpOption::Dss(Dss {
+                    data_ack: Some(123_456_789),
+                    mapping: Some(DssMapping {
+                        dsn: 987_654_321,
+                        ssn: 42,
+                        len: 1400,
+                    }),
+                    data_fin: false,
+                })
+                .encode(),
+            )],
+        },
+        payload: Bytes::from(vec![0xA5u8; 1400]),
+    };
+    let wire = seg.encode().unwrap();
+    let mut g = c.benchmark_group("tcp_codec");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_1400b_dss", |b| {
+        b.iter(|| black_box(&seg).encode().unwrap())
+    });
+    g.bench_function("decode_1400b_dss", |b| {
+        b.iter(|| TcpSegment::decode(black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let key = [0xABu8; 8];
+    g.bench_function("sha1_8b_token_derivation", |b| {
+        b.iter(|| sha1(black_box(&key)))
+    });
+    let msg = [0u8; 64];
+    g.bench_function("hmac_sha1_join_auth", |b| {
+        b.iter(|| hmac_sha1(black_box(&key), black_box(&msg)))
+    });
+    g.finish();
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reassembly");
+    g.bench_function("in_order_1000x1400", |b| {
+        let chunk = Bytes::from(vec![0u8; 1400]);
+        b.iter(|| {
+            let mut r = Reassembly::new();
+            for i in 0..1000u64 {
+                r.insert(i * 1400, chunk.clone());
+                black_box(r.pop_ready());
+            }
+        })
+    });
+    g.bench_function("reverse_order_200x1400", |b| {
+        let chunk = Bytes::from(vec![0u8; 1400]);
+        b.iter(|| {
+            let mut r = Reassembly::new();
+            for i in (0..200u64).rev() {
+                r.insert(i * 1400, chunk.clone());
+            }
+            black_box(r.pop_ready());
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let cands: Vec<SchedCandidate> = (0..8)
+        .map(|i| SchedCandidate {
+            id: i,
+            srtt: Some(std::time::Duration::from_millis(10 + i as u64 * 7)),
+            cwnd_space: 14_000,
+            in_flight: 1400,
+            backup: false,
+        })
+        .collect();
+    c.bench_function("scheduler_lowest_rtt_8_subflows", |b| {
+        let mut s = LowestRtt;
+        b.iter(|| s.select(black_box(&cands)))
+    });
+}
+
+fn bench_netlink(c: &mut Criterion) {
+    let ev = smapp_mptcp::PmEvent::SubflowEstablished {
+        token: 0xDEAD_BEEF,
+        id: 3,
+        tuple: smapp_mptcp::FourTuple {
+            src: Addr::new(10, 0, 1, 1),
+            src_port: 43210,
+            dst: Addr::new(10, 0, 9, 1),
+            dst_port: 80,
+        },
+        backup: false,
+        initiated_here: true,
+    };
+    let frame = encode_event(&ev);
+    let mut g = c.benchmark_group("netlink");
+    g.bench_function("encode_sub_estab_event", |b| {
+        b.iter(|| encode_event(black_box(&ev)))
+    });
+    g.bench_function("decode_sub_estab_event", |b| {
+        b.iter(|| nl_decode(black_box(&frame)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ecmp_hash(c: &mut Criterion) {
+    let key = FlowKey {
+        src: Addr::new(10, 0, 1, 1),
+        dst: Addr::new(10, 0, 9, 1),
+        src_port: 43210,
+        dst_port: 80,
+        proto: 6,
+    };
+    c.bench_function("ecmp_hash", |b| b.iter(|| black_box(&key).ecmp_hash(7)));
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use smapp_mptcp::apps::{BulkSender, Sink};
+    use smapp_mptcp::StackConfig;
+    use smapp_pm::topo::{self, SERVER_ADDR};
+    use smapp_pm::Host;
+    use smapp_sim::{LinkCfg, SimTime};
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(1_000_000));
+    g.bench_function("bulk_1mb_end_to_end", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut client = Host::new("client", StackConfig::default());
+            client.connect_at(
+                SimTime::from_millis(1),
+                None,
+                SERVER_ADDR,
+                80,
+                Box::new(
+                    BulkSender::new(1_000_000)
+                        .close_when_done()
+                        .stop_sim_when_acked(),
+                ),
+            );
+            let mut server = Host::new("server", StackConfig::default());
+            server.listen(
+                80,
+                Box::new(|| {
+                    Box::new(Sink {
+                        close_on_eof: true,
+                        ..Default::default()
+                    })
+                }),
+            );
+            let net = topo::two_path(
+                seed,
+                client,
+                server,
+                LinkCfg::mbps_ms(100, 5),
+                LinkCfg::mbps_ms(100, 5),
+            );
+            let mut sim = net.sim;
+            sim.run_until(SimTime::from_secs(30))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_tcp_codec,
+    bench_crypto,
+    bench_reassembly,
+    bench_scheduler,
+    bench_netlink,
+    bench_ecmp_hash,
+    bench_simulator
+);
+criterion_main!(micro);

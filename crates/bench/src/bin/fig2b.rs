@@ -1,0 +1,48 @@
+//! Regenerate Figure 2b: CDF of 64 KB block delivery delays.
+//!
+//! ```text
+//! cargo run --release -p smapp-bench --bin fig2b [--quick]
+//! ```
+//!
+//! Emits one CDF series per configuration: the smart-stream controller at
+//! 30% loss (the paper notes 10–40% gives "almost the same CDF", which we
+//! also emit), and the default full-mesh path manager at 10/20/30/40%
+//! loss — the four curves of the figure.
+
+use smapp_bench::scenarios::fig2b::{self, Manager};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (runs, blocks) = if quick { (2, 20) } else { (6, 40) };
+    eprintln!("# fig2b: 2 x 5 Mb/s paths, 10 ms delay, one 64 KB block per second");
+    eprintln!("#        {runs} runs x {blocks} blocks per configuration");
+
+    // Smart stream under each loss ratio (paper: curves nearly overlap).
+    for loss in [0.10, 0.20, 0.30, 0.40] {
+        let cdf = fig2b::run(&fig2b::Params {
+            seed0: 1,
+            runs,
+            blocks,
+            loss,
+            manager: Manager::SmartStream,
+        });
+        let label = format!("smart-{:.0}pct", loss * 100.0);
+        cdf.print_series(&label, "block completion time s", 60);
+        eprintln!("# {}", cdf.summary(&label));
+    }
+    // Default full-mesh baseline under each loss ratio.
+    for loss in [0.10, 0.20, 0.30, 0.40] {
+        let cdf = fig2b::run(&fig2b::Params {
+            seed0: 1,
+            runs,
+            blocks,
+            loss,
+            manager: Manager::FullMesh,
+        });
+        let label = format!("fullmesh-{:.0}pct", loss * 100.0);
+        cdf.print_series(&label, "block completion time s", 60);
+        eprintln!("# {}", cdf.summary(&label));
+    }
+    eprintln!("# paper: the smart controller keeps the CDF nearly identical across");
+    eprintln!("# paper: 10-40% loss, while the default manager grows a long tail.");
+}

@@ -1,0 +1,23 @@
+//! # smapp-bench — the experiment harness
+//!
+//! Regenerates every figure of the SMAPP paper (the paper has no tables):
+//!
+//! | Artifact | Scenario | Binary |
+//! |---|---|---|
+//! | Fig. 2a — backup switchover sequence trace | [`scenarios::fig2a`] | `fig2a` |
+//! | Fig. 2b — block-delay CDF, smart stream vs full-mesh | [`scenarios::fig2b`] | `fig2b` |
+//! | Fig. 2c — 100 MB completion CDF, refresh vs ndiffports | [`scenarios::fig2c`] | `fig2c` |
+//! | Fig. 3 — CAPA→JOIN delay CDF, kernel vs userspace | [`scenarios::fig3`] | `fig3` |
+//! | §4.2 narrative — 15-doubling give-up baseline | [`scenarios::sec42`] | `sec42_baseline` |
+//!
+//! Each binary prints plot-ready series (`label\tx\tF(x)` rows) plus a
+//! summary block; Criterion micro/macro benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod pms;
+pub mod scenarios;
+pub mod stats;
+pub mod trace;
+
+pub use stats::Cdf;

@@ -1,0 +1,57 @@
+//! Extra path managers used only by the experiment harness.
+
+use smapp_mptcp::{PathManagerHook, PmAction, PmActions, PmEvent, StackView};
+use smapp_sim::Addr;
+
+/// The pre-SMAPP baseline for §4.2: establish a subflow over the backup
+/// interface immediately, flagged backup (RFC 6824 semantics). The
+/// scheduler then ignores it until the primary subflow *dies* — which,
+/// with the default Linux give-up of 15 RTO doublings, takes on the order
+/// of twelve minutes. (The harness reads the actual switch instant from
+/// the packet trace.)
+#[derive(Debug)]
+pub struct BackupFlagPm {
+    /// The backup interface's address.
+    pub backup_src: Addr,
+    /// Subflows opened (diagnostics).
+    pub opened: u64,
+}
+
+impl BackupFlagPm {
+    /// New instance using `backup_src` for the backup subflow.
+    pub fn new(backup_src: Addr) -> Self {
+        BackupFlagPm {
+            backup_src,
+            opened: 0,
+        }
+    }
+}
+
+impl PathManagerHook for BackupFlagPm {
+    fn on_event(&mut self, ev: &PmEvent, _view: &dyn StackView, actions: &mut PmActions) {
+        if let PmEvent::ConnEstablished {
+            token,
+            tuple,
+            is_client: true,
+        } = ev
+        {
+            self.opened += 1;
+            actions.push(PmAction::OpenSubflow {
+                token: *token,
+                src: self.backup_src,
+                src_port: 0,
+                dst: tuple.dst,
+                dst_port: tuple.dst_port,
+                backup: true,
+            });
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "backup-flag"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

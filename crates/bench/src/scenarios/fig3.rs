@@ -1,0 +1,178 @@
+//! Figure 3 — "Kernel path manager is slightly faster than user space path
+//! manager to open a second subflow."
+//!
+//! "The client performs one thousand consecutive HTTP/1.0 GET queries for
+//! a 512 KB file. [...] We measure the delay between the SYN of the
+//! initial subflow (i.e., containing the MP_CAPABLE option) and the SYN of
+//! the second subflow (i.e., containing the MP_JOIN option)." Both
+//! managers create the second subflow immediately at establishment; the
+//! userspace one pays two netlink boundary crossings — "on average, the
+//! user space path manager increases the delay by 23 microseconds",
+//! staying below 37 µs under CPU stress.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smapp::{ControllerRuntime, NdiffportsController};
+use smapp_mptcp::apps::{GetClient, GetProgress, GetServer};
+use smapp_mptcp::StackConfig;
+use smapp_netlink::LatencyModel;
+use smapp_pm::topo::{self, SERVER_ADDR};
+use smapp_pm::{Host, NdiffportsPm};
+use smapp_sim::{LinkCfg, SimTime};
+
+use crate::stats::Cdf;
+use crate::trace::HandshakeTraceSink;
+
+/// Which path manager creates the second subflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Manager {
+    /// In-kernel ndiffports.
+    Kernel,
+    /// Userspace controller behind the netlink boundary.
+    Userspace,
+}
+
+/// Parameters of one Fig. 3 series.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// RNG seed.
+    pub seed: u64,
+    /// Consecutive GETs (paper: 1000).
+    pub gets: u32,
+    /// Response size (paper: 512 KB).
+    pub response: u64,
+    /// Manager under test.
+    pub manager: Manager,
+    /// Model a CPU-stressed host (the paper's stress experiment).
+    pub stressed: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            seed: 7,
+            gets: 1000,
+            response: 512 * 1024,
+            manager: Manager::Kernel,
+            stressed: false,
+        }
+    }
+}
+
+/// Run one series; returns the CAPA→JOIN deltas (microseconds) plus the
+/// number of completed GET cycles.
+pub fn run(p: &Params) -> (Cdf, u32) {
+    let latency = if p.stressed {
+        LatencyModel::stressed_host()
+    } else {
+        LatencyModel::idle_host()
+    };
+    let mut client = match p.manager {
+        Manager::Kernel => {
+            Host::new("client", StackConfig::default()).with_pm(Box::new(NdiffportsPm::new(2)))
+        }
+        Manager::Userspace => Host::new("client", StackConfig::default())
+            .with_user(ControllerRuntime::boxed(NdiffportsController::new(2)), latency),
+    };
+    let progress = Rc::new(RefCell::new(GetProgress::default()));
+    client.connect_at(
+        SimTime::from_millis(1),
+        None,
+        SERVER_ADDR,
+        80,
+        Box::new(GetClient {
+            remaining: p.gets - 1,
+            request_size: 100,
+            dst: SERVER_ADDR,
+            dst_port: 80,
+            progress: Rc::clone(&progress),
+            stop_when_done: true,
+        }),
+    );
+    let response = p.response;
+    let mut server = Host::new("server", StackConfig::default());
+    server.listen(80, Box::new(move || Box::new(GetServer::new(response))));
+
+    // 1 Gb/s lab link, 50 µs one-way (the paper's direct Ethernet cable).
+    let lab = LinkCfg::new(1_000_000_000, std::time::Duration::from_micros(50));
+    let net = topo::two_path(p.seed, client, server, lab.clone(), lab);
+    let mut sim = net.sim;
+    sim.core
+        .set_trace(Box::new(HandshakeTraceSink::new(net.client)));
+    sim.run_until(SimTime::from_secs(3600));
+
+    let sink = sim.core.take_trace().expect("sink installed");
+    let deltas_us: Vec<f64> = sink
+        .as_any()
+        .downcast_ref::<HandshakeTraceSink>()
+        .expect("handshake sink")
+        .deltas
+        .iter()
+        .map(|s| s * 1e6)
+        .collect();
+    let completed = progress.borrow().completed;
+    (Cdf::new(deltas_us), completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_userspace_penalty_small() {
+        let gets = 60;
+        let (kernel, did_k) = run(&Params {
+            gets,
+            response: 128 * 1024,
+            manager: Manager::Kernel,
+            ..Default::default()
+        });
+        let (user, did_u) = run(&Params {
+            gets,
+            response: 128 * 1024,
+            manager: Manager::Userspace,
+            ..Default::default()
+        });
+        assert_eq!(did_k, gets);
+        assert_eq!(did_u, gets);
+        assert_eq!(kernel.len(), gets as usize, "one JOIN per connection");
+        assert_eq!(user.len(), gets as usize);
+        let penalty = user.mean() - kernel.mean();
+        // The paper: ≈23 µs on an idle host. Accept a 5–60 µs band (our
+        // latency model is calibrated, not fitted).
+        assert!(
+            (5.0..60.0).contains(&penalty),
+            "userspace penalty {penalty:.1}us outside the plausible band \
+             (kernel {}; user {})",
+            kernel.summary("k"),
+            user.summary("u")
+        );
+        // The whole user CDF sits right of the kernel CDF.
+        assert!(user.median() > kernel.median());
+    }
+
+    #[test]
+    fn fig3_stress_increases_penalty_but_bounded() {
+        let gets = 40;
+        let (kernel, _) = run(&Params {
+            gets,
+            response: 64 * 1024,
+            manager: Manager::Kernel,
+            ..Default::default()
+        });
+        let (stressed, _) = run(&Params {
+            gets,
+            response: 64 * 1024,
+            manager: Manager::Userspace,
+            stressed: true,
+            ..Default::default()
+        });
+        let penalty = stressed.mean() - kernel.mean();
+        assert!(
+            penalty < 80.0,
+            "stressed penalty stays bounded: {penalty:.1}us"
+        );
+        assert!(penalty > 10.0, "stress costs more: {penalty:.1}us");
+    }
+}

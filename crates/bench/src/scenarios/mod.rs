@@ -1,0 +1,7 @@
+//! Experiment scenarios — one module per paper artifact.
+
+pub mod fig2a;
+pub mod fig2b;
+pub mod fig2c;
+pub mod fig3;
+pub mod sec42;

@@ -1,0 +1,173 @@
+//! §4.2 baseline narrative — what happens *without* SMAPP.
+//!
+//! "A connection starts over one interface and the second is set as a
+//! backup interface. After 1 second, the packet loss ratio over the
+//! primary path increases [until the radio is effectively dead]. Multipath
+//! TCP tries to retransmit the data over this interface and applies the
+//! exponential backoff to its retransmission timer until it reaches the
+//! maximum value (15 doublings on Linux). At this point (after 12 minutes
+//! in our experiment with the default Linux configuration), TCP eventually
+//! terminates the subflow. This triggers Multipath TCP to use the backup
+//! subflow since it is the only available one."
+//!
+//! We drive the primary into a full blackhole (the "region where an IP
+//! address is assigned but most packets are lost" in its terminal form) so
+//! every retransmission is lost and the doubling runs to completion.
+
+use smapp_mptcp::apps::{BulkSender, Sink};
+use smapp_mptcp::StackConfig;
+use smapp_pm::topo::{self, CLIENT_ADDR1, SERVER_ADDR};
+use smapp_pm::Host;
+use smapp_sim::{LinkCfg, LossModel, SimTime};
+
+use crate::pms::BackupFlagPm;
+use crate::trace::SeqTraceSink;
+
+/// Parameters of the baseline run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// RNG seed.
+    pub seed: u64,
+    /// When the primary path dies.
+    pub loss_onset: SimTime,
+    /// Transfer size.
+    pub transfer: u64,
+    /// RTO give-up count (Linux: 15).
+    pub max_retries: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            seed: 11,
+            loss_onset: SimTime::from_secs(1),
+            transfer: 4_000_000,
+            max_retries: 15,
+        }
+    }
+}
+
+/// Results of the baseline run.
+#[derive(Debug)]
+pub struct Results {
+    /// When data first flowed on the backup path (seconds) — i.e. when the
+    /// kernel finally gave up on the primary.
+    pub switch_at: Option<f64>,
+    /// Completion time, if the transfer finished within the horizon.
+    pub completed_at: Option<f64>,
+    /// Bytes delivered.
+    pub delivered: u64,
+}
+
+/// Run the baseline.
+pub fn run(p: &Params) -> Results {
+    let mut cfg = StackConfig::default();
+    cfg.rto.max_retries = p.max_retries;
+    let mut client =
+        Host::new("client", cfg).with_pm(Box::new(BackupFlagPm::new(topo::CLIENT_ADDR2)));
+    client.connect_at(
+        SimTime::from_millis(10),
+        Some(CLIENT_ADDR1),
+        SERVER_ADDR,
+        80,
+        Box::new(
+            BulkSender::new(p.transfer)
+                .close_when_done()
+                .stop_sim_when_acked(),
+        ),
+    );
+    let mut server = Host::new("server", StackConfig::default());
+    server.listen(
+        80,
+        Box::new(|| {
+            Box::new(Sink {
+                close_on_eof: true,
+                ..Default::default()
+            })
+        }),
+    );
+    let net = topo::two_path(
+        p.seed,
+        client,
+        server,
+        LinkCfg::mbps_ms(5, 10),
+        LinkCfg::mbps_ms(5, 10),
+    );
+    let mut sim = net.sim;
+    sim.core
+        .set_trace(Box::new(SeqTraceSink::new(vec![net.link1, net.link2])));
+    let l1 = net.link1;
+    sim.at(p.loss_onset, move |core| {
+        core.set_loss_both(l1, LossModel::Bernoulli(1.0));
+    });
+    // Horizon: the give-up takes ~13.5 minutes; allow the transfer to
+    // finish afterwards.
+    let summary = sim.run_until(SimTime::from_secs(1800));
+
+    let sink = sim.core.take_trace().expect("trace installed");
+    let rows = sink
+        .as_any()
+        .downcast_ref::<SeqTraceSink>()
+        .expect("seq sink")
+        .relative_rows();
+    // First data on the backup link *after* the loss onset is the switch.
+    let switch_at = rows
+        .iter()
+        .find(|(t, _, path)| *path == 1 && *t > p.loss_onset.as_secs_f64())
+        .map(|(t, _, _)| *t);
+    let delivered = topo::host(&sim, net.server)
+        .stack
+        .connections()
+        .next()
+        .map(|c| {
+            c.app()
+                .unwrap()
+                .as_any()
+                .downcast_ref::<Sink>()
+                .unwrap()
+                .received
+        })
+        .unwrap_or(0);
+    let completed_at = (delivered >= p.transfer).then(|| summary.ended_at.as_secs_f64());
+    Results {
+        switch_at,
+        completed_at,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sec42_backoff_kill_takes_minutes() {
+        let r = run(&Params::default());
+        let switch = r.switch_at.expect("backup eventually used");
+        // The paper: "after 12 minutes". Our RTO policy gives
+        // 0.2+0.4+...+102.4 + 5×120 ≈ 805 s ≈ 13.4 min from the moment the
+        // backoff run starts. Accept the 10–16 minute band.
+        let minutes = switch / 60.0;
+        assert!(
+            (10.0..16.0).contains(&minutes),
+            "kernel gave up after {minutes:.1} minutes"
+        );
+        assert_eq!(r.delivered, 4_000_000, "backup finished the transfer");
+    }
+
+    #[test]
+    fn sec42_quick_variant_scales_with_retries() {
+        // With 6 retries the give-up shrinks to ~25 s — the mechanism, not
+        // the constant, drives the narrative.
+        let r = run(&Params {
+            max_retries: 6,
+            transfer: 1_000_000,
+            ..Default::default()
+        });
+        let switch = r.switch_at.expect("switch happened");
+        assert!(
+            (5.0..90.0).contains(&switch),
+            "6-retry give-up after {switch:.1}s"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Statistics helpers for the experiment harness: empirical CDFs and
+//! small summary tables, printed the way the paper's figures report them.
+
+use serde::Serialize;
+
+/// An empirical distribution over `f64` samples.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cdf {
+    /// Sorted samples.
+    pub samples: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (sorts them).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        Cdf { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (0.0–1.0), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.is_empty(), "quantile of empty CDF");
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.samples.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.samples.last().copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.partition_point(|&s| s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// `(x, F(x))` points thinned to at most `max_points`, suitable for
+    /// plotting the CDF curve.
+    pub fn curve(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let n = self.samples.len();
+        let step = (n / max_points.max(1)).max(1);
+        let mut pts = Vec::new();
+        for i in (0..n).step_by(step) {
+            pts.push((self.samples[i], (i + 1) as f64 / n as f64));
+        }
+        if pts.last().map(|p| p.1) != Some(1.0) {
+            pts.push((self.samples[n - 1], 1.0));
+        }
+        pts
+    }
+
+    /// Print the curve as `x<tab>F(x)` rows prefixed with a series label —
+    /// the format every `fig*` binary emits.
+    pub fn print_series(&self, label: &str, unit: &str, max_points: usize) {
+        println!("# series: {label} ({unit}, n={})", self.len());
+        for (x, f) in self.curve(max_points) {
+            println!("{label}\t{x:.6}\t{f:.4}");
+        }
+    }
+
+    /// One-line summary.
+    pub fn summary(&self, label: &str) -> String {
+        if self.is_empty() {
+            return format!("{label}: no samples");
+        }
+        format!(
+            "{label}: n={} min={:.3} p25={:.3} median={:.3} mean={:.3} p75={:.3} p95={:.3} max={:.3}",
+            self.len(),
+            self.min(),
+            self.quantile(0.25),
+            self.median(),
+            self.mean(),
+            self.quantile(0.75),
+            self.quantile(0.95),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf() -> Cdf {
+        Cdf::new(vec![3.0, 1.0, 2.0, 5.0, 4.0])
+    }
+
+    #[test]
+    fn sorts_and_quantiles() {
+        let c = cdf();
+        assert_eq!(c.samples, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 5.0);
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        assert!((c.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_below() {
+        let c = cdf();
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(3.0), 0.6);
+        assert_eq!(c.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let c = Cdf::new((0..100).map(|i| i as f64).collect());
+        let pts = c.curve(10);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty")]
+    fn quantile_of_empty_panics() {
+        Cdf::new(vec![]).quantile(0.5);
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn cdf_invariants(samples in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+            let c = Cdf::new(samples.clone());
+            // Sorted.
+            prop_assert!(c.samples.windows(2).all(|w| w[0] <= w[1]));
+            // Quantiles are monotone in q.
+            prop_assert!(c.quantile(0.25) <= c.quantile(0.75));
+            // min <= mean <= max.
+            prop_assert!(c.min() <= c.mean() + 1e-9);
+            prop_assert!(c.mean() <= c.max() + 1e-9);
+            // Curve reaches 1.0 and is monotone.
+            let pts = c.curve(50);
+            prop_assert_eq!(pts.last().unwrap().1, 1.0);
+            prop_assert!(pts.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The subflow-controller abstraction and its runtime.
+//!
+//! A [`SubflowController`] is the paper's headline idea: application-level
+//! logic that owns the Multipath TCP control plane. Implementations see
+//! typed events and act through [`ControlApi`]; the [`ControllerRuntime`]
+//! adapts a controller to the host's [`UserProcess`] boundary (netlink
+//! frames + latency).
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use smapp_mptcp::{ConnToken, PmEvent, SubflowId, EVENT_MASK_ALL};
+use smapp_netlink::{UserCtx, UserProcess};
+use smapp_sim::{Addr, SimRng, SimTime};
+use smapp_tcp::TcpInfo;
+
+use crate::client::{ControllerEvent, PmClient};
+
+/// What a controller can do during a callback.
+pub struct ControlApi<'a, 'b> {
+    client: &'a mut PmClient,
+    ctx: &'a mut UserCtx<'b>,
+}
+
+impl ControlApi<'_, '_> {
+    /// Current time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// Deterministic randomness (e.g. for random source ports).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.ctx.rng
+    }
+
+    /// Open a subflow on `token` from an arbitrary 4-tuple.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_subflow(
+        &mut self,
+        token: ConnToken,
+        src: Addr,
+        src_port: u16,
+        dst: Addr,
+        dst_port: u16,
+        backup: bool,
+    ) {
+        self.client
+            .open_subflow(self.ctx, token, src, src_port, dst, dst_port, backup);
+    }
+
+    /// Close a subflow (RST when `reset`).
+    pub fn close_subflow(&mut self, token: ConnToken, id: SubflowId, reset: bool) {
+        self.client.close_subflow(self.ctx, token, id, reset);
+    }
+
+    /// Change a subflow's backup priority.
+    pub fn set_backup(&mut self, token: ConnToken, id: SubflowId, backup: bool) {
+        self.client.set_backup(self.ctx, token, id, backup);
+    }
+
+    /// Query state; answered via [`SubflowController::on_info`] with `tag`.
+    pub fn get_info(&mut self, token: ConnToken, id: Option<SubflowId>, tag: u64) {
+        self.client.get_info(self.ctx, token, id, tag);
+    }
+
+    /// Announce a local address on a connection.
+    pub fn announce_addr(&mut self, token: ConnToken, addr_id: u8, addr: Addr) {
+        self.client.announce_addr(self.ctx, token, addr_id, addr);
+    }
+
+    /// Arm a controller timer.
+    pub fn set_timer(&mut self, after: Duration, token: u64) {
+        self.ctx.set_timer(after, token);
+    }
+}
+
+/// Application-specific subflow management logic (the paper's §4 use
+/// cases implement this).
+pub trait SubflowController {
+    /// Event mask to subscribe with (default: everything).
+    fn subscription(&self) -> u32 {
+        EVENT_MASK_ALL
+    }
+    /// Called once at start, after the subscription is sent.
+    fn on_start(&mut self, api: &mut ControlApi<'_, '_>) {
+        let _ = api;
+    }
+    /// A path-manager event arrived.
+    fn on_event(&mut self, api: &mut ControlApi<'_, '_>, ev: &PmEvent) {
+        let _ = (api, ev);
+    }
+    /// An info query completed.
+    fn on_info(
+        &mut self,
+        api: &mut ControlApi<'_, '_>,
+        tag: u64,
+        token: ConnToken,
+        conn: Option<(u64, u64)>,
+        subflows: &[(SubflowId, TcpInfo)],
+    ) {
+        let _ = (api, tag, token, conn, subflows);
+    }
+    /// A controller timer fired.
+    fn on_timer(&mut self, api: &mut ControlApi<'_, '_>, token: u64) {
+        let _ = (api, token);
+    }
+    /// A command was rejected by the kernel.
+    fn on_command_failed(&mut self, api: &mut ControlApi<'_, '_>, errno: u16) {
+        let _ = (api, errno);
+    }
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Adapts a [`SubflowController`] to the netlink [`UserProcess`] boundary.
+pub struct ControllerRuntime<C> {
+    /// The typed netlink client.
+    pub client: PmClient,
+    /// The controller logic.
+    pub controller: C,
+}
+
+impl<C: SubflowController> ControllerRuntime<C> {
+    /// Wrap a controller.
+    pub fn new(controller: C) -> Self {
+        ControllerRuntime {
+            client: PmClient::new(),
+            controller,
+        }
+    }
+
+    /// Boxed form, ready for [`smapp_pm::Host::with_user`].
+    pub fn boxed(controller: C) -> Box<Self>
+    where
+        C: 'static,
+    {
+        Box::new(Self::new(controller))
+    }
+}
+
+impl<C: SubflowController + 'static> UserProcess for ControllerRuntime<C> {
+    fn on_start(&mut self, ctx: &mut UserCtx<'_>) {
+        self.client.subscribe(ctx, self.controller.subscription());
+        let mut api = ControlApi {
+            client: &mut self.client,
+            ctx,
+        };
+        self.controller.on_start(&mut api);
+    }
+
+    fn on_message(&mut self, ctx: &mut UserCtx<'_>, frame: Bytes) {
+        let Some(ev) = self.client.parse(&frame) else {
+            return;
+        };
+        let mut api = ControlApi {
+            client: &mut self.client,
+            ctx,
+        };
+        match ev {
+            ControllerEvent::Event(ev) => self.controller.on_event(&mut api, &ev),
+            ControllerEvent::Info {
+                tag,
+                token,
+                conn,
+                subflows,
+            } => self
+                .controller
+                .on_info(&mut api, tag, token, conn, &subflows),
+            ControllerEvent::CommandFailed { errno } => {
+                self.controller.on_command_failed(&mut api, errno)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut UserCtx<'_>, token: u64) {
+        let mut api = ControlApi {
+            client: &mut self.client,
+            ctx,
+        };
+        self.controller.on_timer(&mut api, token);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Fetch a controller back out of a host (after a run).
+pub fn controller_of<C: SubflowController + 'static>(host: &smapp_pm::Host) -> Option<&C> {
+    host.user_as::<ControllerRuntime<C>>().map(|r| &r.controller)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smapp_netlink::{decode, encode_event, PmNlMessage};
+
+    /// Counts callbacks; opens a subflow on every establish event.
+    #[derive(Default)]
+    struct Probe {
+        events: u32,
+        timers: u32,
+    }
+    impl SubflowController for Probe {
+        fn on_event(&mut self, api: &mut ControlApi<'_, '_>, ev: &PmEvent) {
+            self.events += 1;
+            if let PmEvent::ConnEstablished { token, tuple, .. } = ev {
+                api.open_subflow(*token, tuple.src, 0, tuple.dst, tuple.dst_port, false);
+            }
+        }
+        fn on_timer(&mut self, api: &mut ControlApi<'_, '_>, _token: u64) {
+            self.timers += 1;
+            api.set_timer(Duration::from_secs(1), 1);
+        }
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+    }
+
+    #[test]
+    fn runtime_subscribes_and_dispatches() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut rt = ControllerRuntime::new(Probe::default());
+        let mut ctx = UserCtx::new(SimTime::ZERO, &mut rng);
+        rt.on_start(&mut ctx);
+        assert_eq!(ctx.to_kernel.len(), 1, "subscription sent");
+        assert!(matches!(
+            decode(&ctx.to_kernel[0]).unwrap(),
+            PmNlMessage::Command {
+                cmd: smapp_netlink::PmNlCommand::Subscribe { mask: EVENT_MASK_ALL },
+                ..
+            }
+        ));
+
+        // Deliver an establish event: the controller reacts with a command.
+        let ev = PmEvent::ConnEstablished {
+            token: 5,
+            tuple: smapp_mptcp::FourTuple {
+                src: Addr::new(10, 0, 0, 1),
+                src_port: 1,
+                dst: Addr::new(10, 0, 9, 1),
+                dst_port: 80,
+            },
+            is_client: true,
+        };
+        let mut ctx = UserCtx::new(SimTime::ZERO, &mut rng);
+        rt.on_message(&mut ctx, encode_event(&ev));
+        assert_eq!(rt.controller.events, 1);
+        assert_eq!(ctx.to_kernel.len(), 1, "open-subflow command sent");
+
+        // Timers dispatch and can rearm.
+        let mut ctx = UserCtx::new(SimTime::ZERO, &mut rng);
+        rt.on_timer(&mut ctx, 1);
+        assert_eq!(rt.controller.timers, 1);
+        assert_eq!(ctx.timers.len(), 1);
+    }
+}

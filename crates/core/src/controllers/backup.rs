@@ -1,0 +1,131 @@
+//! §4.2 — smarter backup (break-before-make).
+//!
+//! "Our controller does not immediately establish the backup subflow. On a
+//! smartphone where the cellular interface would likely be used as a
+//! backup, this reduces both energy and radio resource consumption. The
+//! controller simply listens to the `timeout` event. When a retransmission
+//! timer expires, it checks the current value of the timer. If the timer
+//! becomes larger than a configured threshold, the subflow is considered
+//! to be underperforming. The controller then closes the underperforming
+//! subflow and creates a subflow over the backup interface to continue the
+//! transfer."
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use smapp_mptcp::{ConnToken, PmEvent, SubflowId};
+use smapp_sim::{Addr, SimTime};
+
+use crate::controller::{ControlApi, SubflowController};
+
+/// Backup-controller tunables.
+#[derive(Clone, Debug)]
+pub struct BackupConfig {
+    /// RTO value above which the current subflow is "underperforming"
+    /// (paper: 1 s).
+    pub rto_threshold: Duration,
+    /// The backup interface's address (e.g. the cellular interface).
+    pub backup_src: Addr,
+}
+
+#[derive(Debug)]
+struct ConnRec {
+    dst: Addr,
+    dst_port: u16,
+    /// Source address of each live subflow.
+    sub_src: HashMap<SubflowId, Addr>,
+}
+
+/// The §4.2 controller.
+#[derive(Debug)]
+pub struct BackupController {
+    cfg: BackupConfig,
+    conns: HashMap<ConnToken, ConnRec>,
+    /// `(time, token, killed subflow)` of every switchover (the Fig. 2a
+    /// switch instant).
+    pub switchovers: Vec<(SimTime, ConnToken, SubflowId)>,
+}
+
+impl BackupController {
+    /// New controller guarding with `cfg`.
+    pub fn new(cfg: BackupConfig) -> Self {
+        BackupController {
+            cfg,
+            conns: HashMap::new(),
+            switchovers: Vec::new(),
+        }
+    }
+}
+
+impl SubflowController for BackupController {
+    fn on_event(&mut self, api: &mut ControlApi<'_, '_>, ev: &PmEvent) {
+        match ev {
+            PmEvent::ConnCreated {
+                token,
+                tuple,
+                initial_subflow,
+                is_client: true,
+            } => {
+                let mut sub_src = HashMap::new();
+                sub_src.insert(*initial_subflow, tuple.src);
+                self.conns.insert(
+                    *token,
+                    ConnRec {
+                        dst: tuple.dst,
+                        dst_port: tuple.dst_port,
+                        sub_src,
+                    },
+                );
+            }
+            PmEvent::SubflowEstablished { token, id, tuple, .. } => {
+                if let Some(rec) = self.conns.get_mut(token) {
+                    rec.sub_src.insert(*id, tuple.src);
+                }
+            }
+            PmEvent::SubflowClosed { token, id, .. } => {
+                if let Some(rec) = self.conns.get_mut(token) {
+                    rec.sub_src.remove(id);
+                }
+            }
+            PmEvent::ConnClosed { token } => {
+                self.conns.remove(token);
+            }
+            PmEvent::RtoExpired {
+                token,
+                id,
+                current_rto,
+                ..
+            } => {
+                if *current_rto < self.cfg.rto_threshold {
+                    return;
+                }
+                let Some(rec) = self.conns.get_mut(token) else {
+                    return;
+                };
+                // Only act on subflows not already on the backup interface.
+                match rec.sub_src.get(id) {
+                    Some(src) if *src != self.cfg.backup_src => {}
+                    _ => return,
+                }
+                // Break …
+                api.close_subflow(*token, *id, true);
+                rec.sub_src.remove(id);
+                // … then make.
+                api.open_subflow(
+                    *token,
+                    self.cfg.backup_src,
+                    0,
+                    rec.dst,
+                    rec.dst_port,
+                    false,
+                );
+                self.switchovers.push((api.now(), *token, *id));
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "smart-backup"
+    }
+}

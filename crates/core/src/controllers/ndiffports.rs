@@ -1,0 +1,64 @@
+//! §4.5 — ndiffports in userspace.
+//!
+//! The strategy is identical to the kernel `ndiffports` path manager:
+//! "These two path managers create a second subflow as soon as the initial
+//! subflow has been established." The *difference* is where it runs — the
+//! Fig. 3 experiment measures the extra delay of crossing the netlink
+//! boundary twice (event up, command down) before the `MP_JOIN` SYN
+//! leaves the host.
+
+use smapp_mptcp::PmEvent;
+
+use crate::controller::{ControlApi, SubflowController};
+
+/// Userspace ndiffports.
+#[derive(Debug)]
+pub struct NdiffportsController {
+    /// Total subflows per connection (including the initial one).
+    pub n: u8,
+    /// Connections acted upon (diagnostics).
+    pub conns_seen: u64,
+}
+
+impl NdiffportsController {
+    /// Create `n` subflows per connection in total.
+    pub fn new(n: u8) -> Self {
+        assert!(n >= 1);
+        NdiffportsController { n, conns_seen: 0 }
+    }
+}
+
+impl SubflowController for NdiffportsController {
+    fn subscription(&self) -> u32 {
+        // The paper's point: subscribe only to what you need.
+        PmEvent::ConnEstablished {
+            token: 0,
+            tuple: smapp_mptcp::FourTuple {
+                src: smapp_sim::Addr::UNSPECIFIED,
+                src_port: 0,
+                dst: smapp_sim::Addr::UNSPECIFIED,
+                dst_port: 0,
+            },
+            is_client: true,
+        }
+        .mask_bit()
+    }
+
+    fn on_event(&mut self, api: &mut ControlApi<'_, '_>, ev: &PmEvent) {
+        if let PmEvent::ConnEstablished {
+            token,
+            tuple,
+            is_client: true,
+        } = ev
+        {
+            self.conns_seen += 1;
+            for _ in 1..self.n {
+                api.open_subflow(*token, tuple.src, 0, tuple.dst, tuple.dst_port, false);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ndiffports-user"
+    }
+}

@@ -1,0 +1,67 @@
+//! Stack configuration.
+
+use smapp_tcp::RtoPolicy;
+
+/// Which congestion controller subflows use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcAlgo {
+    /// Uncoupled NewReno per subflow.
+    Reno,
+    /// Coupled Linked-Increases (RFC 6356), the Linux MPTCP default.
+    Lia,
+}
+
+/// Tunables of a host stack. Defaults mirror the Linux MPTCP kernel the
+/// paper ran on.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: usize,
+    /// Connection-level send buffer, bytes.
+    pub send_buf: u64,
+    /// Connection-level receive buffer, bytes.
+    pub recv_buf: u64,
+    /// Retransmission-timeout policy.
+    pub rto: RtoPolicy,
+    /// Congestion controller for subflows.
+    pub cc: CcAlgo,
+    /// Packet scheduler name (see [`crate::scheduler::by_name`]).
+    pub scheduler: &'static str,
+    /// Window-scale shift advertised on SYN.
+    pub window_scale: u8,
+    /// SYN (and SYN/ACK) retransmission attempts before giving up.
+    pub syn_retries: u32,
+    /// Speak Multipath TCP (false = plain TCP fallback behaviour).
+    pub mptcp_enabled: bool,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            mss: 1400,
+            send_buf: 4 << 20,
+            recv_buf: 4 << 20,
+            rto: RtoPolicy::default(),
+            cc: CcAlgo::Lia,
+            scheduler: "lowest-rtt",
+            window_scale: 7,
+            syn_retries: 6,
+            mptcp_enabled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_linuxlike() {
+        let c = StackConfig::default();
+        assert_eq!(c.mss, 1400);
+        assert_eq!(c.cc, CcAlgo::Lia);
+        assert_eq!(c.scheduler, "lowest-rtt");
+        assert!(c.mptcp_enabled);
+        assert_eq!(c.rto.max_retries, 15);
+    }
+}

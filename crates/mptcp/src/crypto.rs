@@ -1,0 +1,180 @@
+//! SHA-1 and HMAC-SHA1, implemented from scratch.
+//!
+//! RFC 6824 derives connection tokens and initial data sequence numbers
+//! from SHA-1 over the exchanged keys, and authenticates `MP_JOIN`
+//! handshakes with HMAC-SHA1. No cryptography crate is available in the
+//! offline dependency set, and the algorithms are small, so they are
+//! implemented here and validated against the RFC 3174 / RFC 2202 test
+//! vectors. SHA-1 is cryptographically broken for collision resistance,
+//! but this reproduces the protocol as specified in 2013 — exactly what the
+//! paper's kernel used.
+
+/// Output size of SHA-1 in bytes.
+pub const SHA1_LEN: usize = 20;
+/// SHA-1 block size in bytes.
+const BLOCK_LEN: usize = 64;
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; SHA1_LEN] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Message with padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64) * 8;
+    let mut msg = Vec::with_capacity(data.len() + BLOCK_LEN + 9);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % BLOCK_LEN != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(BLOCK_LEN) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; SHA1_LEN];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Compute HMAC-SHA1 (RFC 2104) of `msg` under `key`.
+pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; SHA1_LEN] {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        k[..SHA1_LEN].copy_from_slice(&sha1(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK_LEN + msg.len());
+    let mut outer = Vec::with_capacity(BLOCK_LEN + SHA1_LEN);
+    for &b in &k {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(msg);
+    let inner_hash = sha1(&inner);
+    for &b in &k {
+        outer.push(b ^ 0x5C);
+    }
+    outer.extend_from_slice(&inner_hash);
+    sha1(&outer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 3174 / FIPS 180-1 test vectors.
+    #[test]
+    fn sha1_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn sha1_two_block_message() {
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn sha1_empty() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn sha1_million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&msg)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn sha1_exact_block_boundary() {
+        // 64-byte message exercises the "padding adds a whole block" path.
+        let msg = [0x61u8; 64];
+        assert_eq!(hex(&sha1(&msg)), "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+    }
+
+    // RFC 2202 HMAC-SHA1 test vectors.
+    #[test]
+    fn hmac_rfc2202_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc2202_case2() {
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc2202_case3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        assert_eq!(
+            hex(&hmac_sha1(&key, &msg)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc2202_long_key() {
+        // Case 6: 80-byte key forces the key-hashing path.
+        let key = [0xaa; 80];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn hmac_distinct_keys_distinct_macs() {
+        assert_ne!(hmac_sha1(b"k1", b"msg"), hmac_sha1(b"k2", b"msg"));
+        assert_ne!(hmac_sha1(b"k", b"msg1"), hmac_sha1(b"k", b"msg2"));
+    }
+}

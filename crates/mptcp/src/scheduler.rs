@@ -1,0 +1,205 @@
+//! Packet schedulers.
+//!
+//! "The Multipath TCP implementation uses a packet scheduler to decide over
+//! which available subflow each data is transmitted. Several schedulers
+//! have been implemented and the default one prefers the subflow with the
+//! lowest round-trip-time provided that its congestion window is open."
+//! (§2 of the paper.) This module implements that default ([`LowestRtt`]),
+//! plus round-robin and redundant schedulers as in the Paasch et al.
+//! scheduler study the paper cites.
+//!
+//! Backup semantics (RFC 6824): a subflow flagged backup receives data only
+//! while no non-backup subflow is available. The stack applies that filter
+//! before consulting the scheduler, so schedulers only rank *eligible*
+//! subflows.
+
+use std::time::Duration;
+
+use crate::pm::SubflowId;
+
+/// What a scheduler sees about one eligible subflow.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedCandidate {
+    /// Subflow id.
+    pub id: SubflowId,
+    /// Smoothed RTT; `None` if no sample yet (brand-new subflow).
+    pub srtt: Option<Duration>,
+    /// Free congestion-window space in bytes (cwnd − in-flight).
+    pub cwnd_space: u64,
+    /// Total bytes in flight.
+    pub in_flight: u64,
+    /// Backup flag (candidates may all be backups when no regular subflow
+    /// is alive).
+    pub backup: bool,
+}
+
+/// A packet scheduler: picks which subflow carries the next segment.
+pub trait Scheduler: std::fmt::Debug + Send {
+    /// Choose among `candidates` (all established, all with cwnd space).
+    /// Returning `None` defers transmission until conditions change.
+    fn select(&mut self, candidates: &[SchedCandidate]) -> Option<SubflowId>;
+
+    /// Name for reports ("lowest-rtt", "round-robin", "redundant").
+    fn name(&self) -> &'static str;
+
+    /// Redundant schedulers return true: the stack then sends a copy of the
+    /// segment on *every* candidate rather than just the selected one.
+    fn duplicates(&self) -> bool {
+        false
+    }
+}
+
+/// The Linux default: lowest smoothed RTT wins; unsampled subflows lose to
+/// sampled ones (they'll get their chance when the sampled ones fill their
+/// windows); ties break by lower id for determinism.
+#[derive(Debug, Default, Clone)]
+pub struct LowestRtt;
+
+impl Scheduler for LowestRtt {
+    fn select(&mut self, candidates: &[SchedCandidate]) -> Option<SubflowId> {
+        candidates
+            .iter()
+            .min_by_key(|c| (c.srtt.unwrap_or(Duration::MAX), c.id))
+            .map(|c| c.id)
+    }
+    fn name(&self) -> &'static str {
+        "lowest-rtt"
+    }
+}
+
+/// Strict rotation over subflows with space.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    last: Option<SubflowId>,
+}
+
+impl Scheduler for RoundRobin {
+    fn select(&mut self, candidates: &[SchedCandidate]) -> Option<SubflowId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut ids: Vec<SubflowId> = candidates.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let next = match self.last {
+            Some(last) => ids
+                .iter()
+                .copied()
+                .find(|&id| id > last)
+                .unwrap_or(ids[0]),
+            None => ids[0],
+        };
+        self.last = Some(next);
+        Some(next)
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Send every segment on every available subflow (latency-oriented).
+#[derive(Debug, Default, Clone)]
+pub struct Redundant;
+
+impl Scheduler for Redundant {
+    fn select(&mut self, candidates: &[SchedCandidate]) -> Option<SubflowId> {
+        // The primary copy goes to the lowest-RTT subflow; the stack
+        // duplicates onto the rest because `duplicates()` is true.
+        LowestRtt.select(candidates)
+    }
+    fn name(&self) -> &'static str {
+        "redundant"
+    }
+    fn duplicates(&self) -> bool {
+        true
+    }
+}
+
+/// Construct a scheduler by name; used by scenario configuration.
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    match name {
+        "lowest-rtt" => Some(Box::new(LowestRtt)),
+        "round-robin" => Some(Box::new(RoundRobin::default())),
+        "redundant" => Some(Box::new(Redundant)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u8, srtt_ms: Option<u64>, space: u64) -> SchedCandidate {
+        SchedCandidate {
+            id,
+            srtt: srtt_ms.map(Duration::from_millis),
+            cwnd_space: space,
+            in_flight: 0,
+            backup: false,
+        }
+    }
+
+    #[test]
+    fn lowest_rtt_picks_min() {
+        let mut s = LowestRtt;
+        let picked = s.select(&[cand(0, Some(40), 100), cand(1, Some(10), 100)]);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn lowest_rtt_unsampled_loses() {
+        let mut s = LowestRtt;
+        let picked = s.select(&[cand(0, None, 100), cand(1, Some(500), 100)]);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn lowest_rtt_tie_breaks_by_id() {
+        let mut s = LowestRtt;
+        let picked = s.select(&[cand(2, Some(10), 100), cand(1, Some(10), 100)]);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn lowest_rtt_empty() {
+        assert_eq!(LowestRtt.select(&[]), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobin::default();
+        let c = [cand(0, Some(10), 1), cand(1, Some(10), 1), cand(2, Some(10), 1)];
+        assert_eq!(s.select(&c), Some(0));
+        assert_eq!(s.select(&c), Some(1));
+        assert_eq!(s.select(&c), Some(2));
+        assert_eq!(s.select(&c), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_missing() {
+        let mut s = RoundRobin::default();
+        let all = [cand(0, None, 1), cand(1, None, 1), cand(2, None, 1)];
+        assert_eq!(s.select(&all), Some(0));
+        // Subflow 1 lost its window space; rotation jumps to 2.
+        let partial = [cand(0, None, 1), cand(2, None, 1)];
+        assert_eq!(s.select(&partial), Some(2));
+        assert_eq!(s.select(&partial), Some(0));
+    }
+
+    #[test]
+    fn redundant_duplicates() {
+        let mut s = Redundant;
+        assert!(s.duplicates());
+        assert_eq!(
+            s.select(&[cand(0, Some(99), 1), cand(1, Some(1), 1)]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("lowest-rtt").is_some());
+        assert!(by_name("round-robin").is_some());
+        assert!(by_name("redundant").is_some());
+        assert!(by_name("bogus").is_none());
+    }
+}

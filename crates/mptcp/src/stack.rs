@@ -1,0 +1,567 @@
+//! The host stack: connection table, demultiplexing, listeners, timers and
+//! the path-manager boundary.
+//!
+//! One [`HostStack`] is the "kernel" of one simulated host. It owns every
+//! connection, demultiplexes incoming packets to subflows (including
+//! `MP_JOIN` SYNs routed by token), applies path-manager actions, and
+//! surfaces [`PmEvent`]s for whatever path manager the host plugged in.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use smapp_sim::{Addr, Packet, IcmpMsg, PROTO_ICMP, PROTO_TCP};
+use smapp_tcp::{SeqNum, TcpFlags, TcpHeader, TcpInfo, TcpSegment};
+
+use crate::app::App;
+use crate::config::StackConfig;
+use crate::conn::{ConnInfo, ConnState, Connection};
+use crate::env::StackEnv;
+use crate::options::MpOption;
+use crate::pm::{
+    ConnToken, FourTuple, PmAction, PmEvent, StackView, SubflowError, SubflowId,
+};
+
+/// Timer classes multiplexed into the stack's `u64` timer tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Subflow retransmission timer.
+    Rto,
+    /// Application timer.
+    App,
+    /// Connection-level DATA_FIN retransmission timer.
+    MetaFin,
+}
+
+/// Pack a stack timer token: `kind(4) | conn_idx(24) | subflow(8) | gen(28)`.
+pub fn timer_token(kind: TimerKind, conn_idx: usize, sub: SubflowId, gen: u64) -> u64 {
+    let k = match kind {
+        TimerKind::Rto => 1u64,
+        TimerKind::App => 2,
+        TimerKind::MetaFin => 3,
+    };
+    debug_assert!(conn_idx < (1 << 24), "connection index overflow");
+    debug_assert!(gen < (1 << 28), "timer generation overflow");
+    (k << 60) | ((conn_idx as u64 & 0xFF_FFFF) << 36) | ((sub as u64) << 28) | (gen & 0x0FFF_FFFF)
+}
+
+/// Unpack a stack timer token.
+pub fn parse_timer_token(t: u64) -> Option<(TimerKind, usize, SubflowId, u64)> {
+    let kind = match t >> 60 {
+        1 => TimerKind::Rto,
+        2 => TimerKind::App,
+        3 => TimerKind::MetaFin,
+        _ => return None,
+    };
+    Some((
+        kind,
+        ((t >> 36) & 0xFF_FFFF) as usize,
+        ((t >> 28) & 0xFF) as SubflowId,
+        t & 0x0FFF_FFFF,
+    ))
+}
+
+/// Application factory used by listeners: one app instance per accepted
+/// connection.
+pub type AppFactory = Box<dyn FnMut() -> Box<dyn App>>;
+
+/// The per-host TCP/MPTCP stack.
+pub struct HostStack {
+    /// Configuration shared by all connections.
+    pub cfg: StackConfig,
+    conns: Vec<Option<Connection>>,
+    /// Demux: four-tuple (local perspective) -> (conn slot, subflow id).
+    flows: HashMap<FourTuple, (usize, SubflowId)>,
+    /// Demux: our token -> conn slot (for MP_JOIN and PM commands).
+    by_token: HashMap<ConnToken, usize>,
+    listeners: HashMap<u16, AppFactory>,
+    /// Local addresses and their up/down state (host keeps this current).
+    local_addrs: Vec<(Addr, bool)>,
+    used_ports: std::collections::HashSet<(Addr, u16)>,
+    /// Events awaiting pickup by the host's path manager.
+    events: Vec<PmEvent>,
+    /// Count of RSTs sent to unknown flows (diagnostics).
+    pub rst_sent: u64,
+}
+
+impl HostStack {
+    /// A stack with the given configuration.
+    pub fn new(cfg: StackConfig) -> Self {
+        HostStack {
+            cfg,
+            conns: Vec::new(),
+            flows: HashMap::new(),
+            by_token: HashMap::new(),
+            listeners: HashMap::new(),
+            local_addrs: Vec::new(),
+            used_ports: std::collections::HashSet::new(),
+            events: Vec::new(),
+            rst_sent: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host plumbing
+    // ------------------------------------------------------------------
+
+    /// Register the host's local addresses (call at start and on change).
+    pub fn set_local_addr(&mut self, addr: Addr, up: bool) {
+        match self.local_addrs.iter_mut().find(|(a, _)| *a == addr) {
+            Some(slot) => slot.1 = up,
+            None => self.local_addrs.push((addr, up)),
+        }
+    }
+
+    /// Local addresses currently up.
+    pub fn local_addrs_up(&self) -> Vec<Addr> {
+        self.local_addrs
+            .iter()
+            .filter(|(_, up)| *up)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Drain pending path-manager events.
+    pub fn take_events(&mut self) -> Vec<PmEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Listen on a port; `factory` builds the per-connection server app.
+    pub fn listen(&mut self, port: u16, factory: AppFactory) {
+        self.listeners.insert(port, factory);
+    }
+
+    /// Open a client connection toward `dst:dst_port`. Returns the token.
+    pub fn connect(
+        &mut self,
+        env: &mut StackEnv<'_>,
+        src: Option<Addr>,
+        dst: Addr,
+        dst_port: u16,
+        app: Box<dyn App>,
+    ) -> Option<ConnToken> {
+        let src = src.or_else(|| self.local_addrs_up().first().copied())?;
+        let src_port = self.alloc_port(env, src)?;
+        let tuple = FourTuple {
+            src,
+            src_port,
+            dst,
+            dst_port,
+        };
+        let idx = self.conns.len();
+        let conn = Connection::client(idx, &self.cfg, tuple, app, env, &mut self.events);
+        let token = conn.token;
+        self.flows.insert(tuple, (idx, 0));
+        self.by_token.insert(token, idx);
+        self.conns.push(Some(conn));
+        Some(token)
+    }
+
+    fn alloc_port(&mut self, env: &mut StackEnv<'_>, addr: Addr) -> Option<u16> {
+        for _ in 0..64 {
+            let p = env.rng.ephemeral_port();
+            if self.used_ports.insert((addr, p)) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Packet input
+    // ------------------------------------------------------------------
+
+    /// Process an incoming packet addressed to this host.
+    pub fn on_packet(&mut self, env: &mut StackEnv<'_>, pkt: &Packet) {
+        match pkt.proto {
+            PROTO_TCP => self.on_tcp(env, pkt),
+            PROTO_ICMP => self.on_icmp(env, pkt),
+            _ => {}
+        }
+    }
+
+    fn on_tcp(&mut self, env: &mut StackEnv<'_>, pkt: &Packet) {
+        let Ok(seg) = TcpSegment::decode(&pkt.payload) else {
+            return; // malformed: drop
+        };
+        let tuple = FourTuple {
+            src: pkt.dst,
+            src_port: seg.hdr.dst_port,
+            dst: pkt.src,
+            dst_port: seg.hdr.src_port,
+        };
+        // 1. Existing subflow?
+        if let Some(&(idx, sub)) = self.flows.get(&tuple) {
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.on_segment(sub, &seg, &self.cfg, env, &mut self.events);
+                self.post_process(idx, env);
+                return;
+            }
+        }
+        // 2. New SYN?
+        if seg.hdr.flags.syn && !seg.hdr.flags.ack {
+            // MP_JOIN: route by token.
+            let join_token = seg.mptcp_opts().find_map(|o| match MpOption::decode(o) {
+                Ok(MpOption::JoinSyn { token, .. }) => Some(token),
+                _ => None,
+            });
+            if let Some(token) = join_token {
+                if let Some(&idx) = self.by_token.get(&token) {
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        if let Some(sub) =
+                            conn.accept_join_syn(&self.cfg, env, tuple, &seg)
+                        {
+                            self.flows.insert(tuple, (idx, sub));
+                            self.used_ports.insert((tuple.src, tuple.src_port));
+                            return;
+                        }
+                    }
+                }
+                // Unknown token: refuse.
+                self.send_rst(env, &tuple, &seg);
+                return;
+            }
+            // MP_CAPABLE or plain SYN: needs a listener.
+            if self.listeners.contains_key(&tuple.src_port) {
+                let app = (self.listeners.get_mut(&tuple.src_port).unwrap())();
+                let idx = self.conns.len();
+                let conn = Connection::server_from_syn(
+                    idx,
+                    &self.cfg,
+                    tuple,
+                    &seg,
+                    app,
+                    env,
+                    &mut self.events,
+                );
+                self.flows.insert(tuple, (idx, 0));
+                self.by_token.insert(conn.token, idx);
+                self.used_ports.insert((tuple.src, tuple.src_port));
+                self.conns.push(Some(conn));
+                return;
+            }
+            self.send_rst(env, &tuple, &seg);
+            return;
+        }
+        // 3. Anything else for an unknown flow: RST (unless it is an RST).
+        if !seg.hdr.flags.rst {
+            self.send_rst(env, &tuple, &seg);
+        }
+    }
+
+    fn send_rst(&mut self, env: &mut StackEnv<'_>, tuple: &FourTuple, offending: &TcpSegment) {
+        self.rst_sent += 1;
+        let seg = TcpSegment {
+            hdr: TcpHeader {
+                src_port: tuple.src_port,
+                dst_port: tuple.dst_port,
+                seq: offending.hdr.ack,
+                ack: SeqNum(
+                    offending
+                        .hdr
+                        .seq
+                        .0
+                        .wrapping_add(offending.payload.len() as u32)
+                        .wrapping_add(offending.hdr.flags.syn as u32),
+                ),
+                flags: TcpFlags::RST,
+                window: 0,
+                options: Vec::new(),
+            },
+            payload: Bytes::new(),
+        };
+        env.send_segment(tuple.src, tuple.dst, &seg);
+    }
+
+    fn on_icmp(&mut self, env: &mut StackEnv<'_>, pkt: &Packet) {
+        let Some(IcmpMsg::DestUnreachable {
+            orig_src_port,
+            orig_dst_port,
+            ..
+        }) = IcmpMsg::decode(&pkt.payload)
+        else {
+            return;
+        };
+        // Find the subflow whose local port matches the original sender's
+        // source port (we sent the packet the ICMP complains about).
+        let found = self.flows.iter().find_map(|(t, &(idx, sub))| {
+            (t.src_port == orig_src_port && t.dst_port == orig_dst_port).then_some((idx, sub))
+        });
+        if let Some((idx, sub)) = found {
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.on_icmp_unreachable(sub, &self.cfg, env, &mut self.events);
+            }
+            self.post_process(idx, env);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Dispatch a stack timer token.
+    pub fn on_timer(&mut self, env: &mut StackEnv<'_>, token: u64) {
+        let Some((kind, idx, sub, gen)) = parse_timer_token(token) else {
+            return;
+        };
+        let Some(Some(conn)) = self.conns.get_mut(idx) else {
+            return;
+        };
+        match kind {
+            TimerKind::Rto => conn.on_rto_timer(sub, gen, &self.cfg, env, &mut self.events),
+            TimerKind::App => conn.on_app_timer(gen, &self.cfg, env, &mut self.events),
+            TimerKind::MetaFin => conn.on_meta_fin_timer(gen, &self.cfg, env, &mut self.events),
+        }
+        self.post_process(idx, env);
+    }
+
+    // ------------------------------------------------------------------
+    // Local address changes
+    // ------------------------------------------------------------------
+
+    /// An interface changed state. Emits the paper's `new_local_addr` /
+    /// `del_local_addr` events; on down, kills subflows bound to the
+    /// address (the NIC is gone — Linux errors them out the same way).
+    pub fn on_local_addr(&mut self, env: &mut StackEnv<'_>, addr: Addr, up: bool) {
+        self.set_local_addr(addr, up);
+        self.events.push(if up {
+            PmEvent::LocalAddrUp { addr }
+        } else {
+            PmEvent::LocalAddrDown { addr }
+        });
+        if !up {
+            for idx in 0..self.conns.len() {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    continue;
+                };
+                let victims: Vec<SubflowId> = conn
+                    .live_subflow_ids()
+                    .into_iter()
+                    .filter(|&id| conn.subflow(id).is_some_and(|s| s.tuple.src == addr))
+                    .collect();
+                for id in victims {
+                    conn.kill_subflow(id, SubflowError::IfaceDown, env, &mut self.events);
+                }
+                self.post_process(idx, env);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Path-manager actions
+    // ------------------------------------------------------------------
+
+    /// Apply one path-manager action. Returns false when the target
+    /// connection/subflow no longer exists.
+    pub fn apply_action(&mut self, env: &mut StackEnv<'_>, action: &PmAction) -> bool {
+        let token = match action {
+            PmAction::OpenSubflow { token, .. }
+            | PmAction::CloseSubflow { token, .. }
+            | PmAction::SetBackup { token, .. }
+            | PmAction::AnnounceAddr { token, .. }
+            | PmAction::WithdrawAddr { token, .. } => *token,
+        };
+        let Some(&idx) = self.by_token.get(&token) else {
+            return false;
+        };
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return false;
+        };
+        let ok = match action {
+            PmAction::OpenSubflow {
+                src,
+                src_port,
+                dst,
+                dst_port,
+                backup,
+                ..
+            } => {
+                // The address must be local and up.
+                if !self.local_addrs.iter().any(|(a, up)| a == src && *up) {
+                    false
+                } else {
+                    let src_port = if *src_port == 0 {
+                        match self.alloc_port_inner(env, *src) {
+                            Some(p) => p,
+                            None => return false,
+                        }
+                    } else {
+                        *src_port
+                    };
+                    let tuple = FourTuple {
+                        src: *src,
+                        src_port,
+                        dst: *dst,
+                        dst_port: *dst_port,
+                    };
+                    let conn = self.conns[idx].as_mut().unwrap();
+                    match conn.open_subflow(&self.cfg, env, tuple, *backup) {
+                        Some(sub) => {
+                            self.flows.insert(tuple, (idx, sub));
+                            true
+                        }
+                        None => false,
+                    }
+                }
+            }
+            PmAction::CloseSubflow { id, reset, .. } => {
+                conn.pm_close_subflow(*id, *reset, &self.cfg, env, &mut self.events);
+                true
+            }
+            PmAction::SetBackup { id, backup, .. } => {
+                conn.pm_set_backup(*id, *backup, env);
+                true
+            }
+            PmAction::AnnounceAddr { addr_id, addr, .. } => {
+                conn.pm_announce_addr(*addr_id, *addr, env);
+                true
+            }
+            PmAction::WithdrawAddr { addr_id, .. } => {
+                conn.pm_withdraw_addr(*addr_id, env);
+                true
+            }
+        };
+        self.post_process(idx, env);
+        ok
+    }
+
+    fn alloc_port_inner(&mut self, env: &mut StackEnv<'_>, addr: Addr) -> Option<u16> {
+        for _ in 0..64 {
+            let p = env.rng.ephemeral_port();
+            if self.used_ports.insert((addr, p)) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// House-keeping after any connection activity: drop closed flows from
+    /// the demux tables and release fully closed connections.
+    fn post_process(&mut self, idx: usize, _env: &mut StackEnv<'_>) {
+        let Some(conn) = self.conns[idx].as_ref() else {
+            return;
+        };
+        // Remove demux entries of closed subflows.
+        let dead: Vec<FourTuple> = self
+            .flows
+            .iter()
+            .filter(|(_, &(i, sub))| {
+                i == idx
+                    && self.conns[idx]
+                        .as_ref()
+                        .and_then(|c| c.subflow(sub))
+                        .is_none_or(|s| s.state == crate::subflow::SfState::Closed)
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for t in dead {
+            self.flows.remove(&t);
+        }
+        if conn.state == ConnState::Closed {
+            self.by_token.remove(&conn.token);
+            // Keep the connection object for post-run inspection, but it no
+            // longer participates in demux.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Tokens of all connections (including closed ones, for reporting).
+    pub fn tokens(&self) -> Vec<ConnToken> {
+        self.conns
+            .iter()
+            .flatten()
+            .map(|c| c.token)
+            .collect()
+    }
+
+    /// A connection by token (live) or by scanning (closed).
+    pub fn conn_by_token(&self, token: ConnToken) -> Option<&Connection> {
+        if let Some(&idx) = self.by_token.get(&token) {
+            return self.conns[idx].as_deref_conn();
+        }
+        self.conns
+            .iter()
+            .flatten()
+            .find(|c| c.token == token)
+    }
+
+    /// Mutable connection access by token.
+    pub fn conn_by_token_mut(&mut self, token: ConnToken) -> Option<&mut Connection> {
+        if let Some(&idx) = self.by_token.get(&token) {
+            return self.conns[idx].as_mut();
+        }
+        self.conns
+            .iter_mut()
+            .flatten()
+            .find(|c| c.token == token)
+    }
+
+    /// All connections, in creation order.
+    pub fn connections(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.iter().flatten()
+    }
+
+    /// Connection-level info.
+    pub fn conn_info(&self, token: ConnToken) -> Option<ConnInfo> {
+        self.conn_by_token(token).map(|c| c.info())
+    }
+}
+
+/// Helper to keep `conn_by_token` readable.
+trait AsDerefConn {
+    fn as_deref_conn(&self) -> Option<&Connection>;
+}
+
+impl AsDerefConn for Option<Connection> {
+    fn as_deref_conn(&self) -> Option<&Connection> {
+        self.as_ref()
+    }
+}
+
+impl StackView for HostStack {
+    fn subflow_info(&self, token: ConnToken, id: SubflowId) -> Option<TcpInfo> {
+        self.conn_by_token(token)?.subflow_info(id)
+    }
+    fn subflow_ids(&self, token: ConnToken) -> Vec<SubflowId> {
+        self.conn_by_token(token)
+            .map(|c| c.live_subflow_ids())
+            .unwrap_or_default()
+    }
+    fn local_addrs(&self) -> Vec<Addr> {
+        self.local_addrs_up()
+    }
+    fn remote_addrs(&self, token: ConnToken) -> Vec<(u8, Addr, u16)> {
+        self.conn_by_token(token)
+            .map(|c| {
+                let mut v = vec![(0u8, c.initial_remote.0, c.initial_remote.1)];
+                v.extend(c.remote_addrs.iter().copied());
+                v
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_token_roundtrip() {
+        for kind in [TimerKind::Rto, TimerKind::App, TimerKind::MetaFin] {
+            let t = timer_token(kind, 123, 7, 99_999);
+            assert_eq!(parse_timer_token(t), Some((kind, 123, 7, 99_999)));
+        }
+        assert_eq!(parse_timer_token(0), None);
+    }
+
+    #[test]
+    fn timer_token_max_fields() {
+        let t = timer_token(TimerKind::Rto, (1 << 24) - 1, 255, (1 << 28) - 1);
+        assert_eq!(
+            parse_timer_token(t),
+            Some((TimerKind::Rto, (1 << 24) - 1, 255, (1 << 28) - 1))
+        );
+    }
+}

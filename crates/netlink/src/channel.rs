@@ -1,0 +1,181 @@
+//! The user/kernel boundary: latency model and the userspace-process
+//! abstraction.
+//!
+//! Crossing from kernel to userspace (and back) costs a context switch plus
+//! scheduling delay. Fig. 3 of the paper measures exactly this: the
+//! userspace path manager adds ~23 µs on average to the time between the
+//! `MP_CAPABLE` SYN and the `MP_JOIN` SYN, rising to ≤37 µs under CPU
+//! stress. [`LatencyModel`] reproduces those distributions; the host
+//! applies one sample per boundary crossing.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use smapp_sim::{SimRng, SimTime};
+
+/// Distribution of one-way user/kernel boundary delays.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// No delay (used for the in-kernel path managers).
+    Zero,
+    /// Fixed delay.
+    Const(Duration),
+    /// Log-normal delay: right-skewed with a heavy tail, the shape of
+    /// scheduling jitter. `median` sets the typical case, `sigma` the
+    /// spread, `floor` a hard minimum (context-switch cost).
+    LogNormal {
+        /// Median delay.
+        median: Duration,
+        /// Log-space standard deviation.
+        sigma: f64,
+        /// Hard minimum.
+        floor: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// The default model for an idle host: ~10 µs median per crossing,
+    /// two crossings ≈ 20–25 µs mean extra delay — the paper's Fig. 3.
+    pub fn idle_host() -> Self {
+        LatencyModel::LogNormal {
+            median: Duration::from_micros(10),
+            sigma: 0.35,
+            floor: Duration::from_micros(4),
+        }
+    }
+
+    /// A CPU-stressed host: the paper reports the penalty stays below
+    /// 37 µs; median per crossing ~16 µs with a longer tail.
+    pub fn stressed_host() -> Self {
+        LatencyModel::LogNormal {
+            median: Duration::from_micros(16),
+            sigma: 0.55,
+            floor: Duration::from_micros(6),
+        }
+    }
+
+    /// Draw one boundary-crossing delay.
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        match self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Const(d) => *d,
+            LatencyModel::LogNormal {
+                median,
+                sigma,
+                floor,
+            } => {
+                let v = rng.log_normal(median.as_nanos() as f64, *sigma);
+                Duration::from_nanos(v as u64).max(*floor)
+            }
+        }
+    }
+}
+
+/// What a userspace process may do during a callback.
+pub struct UserCtx<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// Deterministic randomness (the refresh controller picks random
+    /// source ports, as §4.4 describes).
+    pub rng: &'a mut SimRng,
+    /// Netlink frames to send down to the kernel.
+    pub to_kernel: Vec<Bytes>,
+    /// Timers to arm: `(delay, token)`; fired via
+    /// [`UserProcess::on_timer`].
+    pub timers: Vec<(Duration, u64)>,
+}
+
+impl<'a> UserCtx<'a> {
+    /// Fresh context.
+    pub fn new(now: SimTime, rng: &'a mut SimRng) -> Self {
+        UserCtx {
+            now,
+            rng,
+            to_kernel: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Queue a frame toward the kernel.
+    pub fn send(&mut self, frame: Bytes) {
+        self.to_kernel.push(frame);
+    }
+
+    /// Arm a process timer.
+    pub fn set_timer(&mut self, after: Duration, token: u64) {
+        self.timers.push((after, token));
+    }
+}
+
+/// A userspace process attached to a host: receives netlink frames from
+/// the kernel (after boundary latency) and sends frames back (same).
+///
+/// The SMAPP subflow controllers (crate `smapp`) implement this trait via
+/// their controller runtime.
+pub trait UserProcess {
+    /// Called once at host start (subscribe to events here).
+    fn on_start(&mut self, ctx: &mut UserCtx<'_>) {
+        let _ = ctx;
+    }
+    /// A netlink frame arrived from the kernel.
+    fn on_message(&mut self, ctx: &mut UserCtx<'_>, frame: Bytes);
+    /// A timer armed via [`UserCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut UserCtx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+    /// Downcast support for post-run inspection.
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_const_models() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng), Duration::ZERO);
+        assert_eq!(
+            LatencyModel::Const(Duration::from_micros(5)).sample(&mut rng),
+            Duration::from_micros(5)
+        );
+    }
+
+    #[test]
+    fn lognormal_respects_floor_and_median() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let m = LatencyModel::idle_host();
+        let mut samples: Vec<Duration> = (0..10_001).map(|_| m.sample(&mut rng)).collect();
+        samples.sort();
+        assert!(samples[0] >= Duration::from_micros(4));
+        let median = samples[5_000];
+        assert!(
+            (Duration::from_micros(8)..Duration::from_micros(13)).contains(&median),
+            "median={median:?}"
+        );
+    }
+
+    #[test]
+    fn stressed_is_slower_than_idle() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let idle: u64 = (0..1000)
+            .map(|_| LatencyModel::idle_host().sample(&mut rng).as_nanos() as u64)
+            .sum();
+        let stressed: u64 = (0..1000)
+            .map(|_| LatencyModel::stressed_host().sample(&mut rng).as_nanos() as u64)
+            .sum();
+        assert!(stressed > idle);
+    }
+
+    #[test]
+    fn user_ctx_collects() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut ctx = UserCtx::new(SimTime::ZERO, &mut rng);
+        ctx.send(Bytes::from_static(b"frame"));
+        ctx.set_timer(Duration::from_secs(1), 9);
+        assert_eq!(ctx.to_kernel.len(), 1);
+        assert_eq!(ctx.timers, vec![(Duration::from_secs(1), 9)]);
+    }
+}

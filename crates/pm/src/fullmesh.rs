@@ -1,0 +1,398 @@
+//! The in-kernel `fullmesh` path manager (baseline).
+//!
+//! "The full-mesh path manager listens to events from the underlying
+//! network interfaces and creates one subflow towards the server over each
+//! active interface. These subflows are created immediately after the
+//! creation of the connection or when an interface becomes active." (§2.)
+//!
+//! Like the Linux module, it acts only on the client side of a connection
+//! (servers never create subflows); on the server side it announces
+//! additional local addresses via `ADD_ADDR` so the client's mesh can grow.
+
+use std::collections::{HashMap, HashSet};
+
+use smapp_mptcp::{
+    ConnToken, PathManagerHook, PmAction, PmActions, PmEvent, StackView,
+};
+use smapp_sim::Addr;
+
+#[derive(Debug, Default)]
+struct ConnRec {
+    is_client: bool,
+    dst_port: u16,
+    /// (local, remote) pairs with a live (or in-progress) subflow.
+    pairs: HashSet<(Addr, Addr)>,
+    /// Local addresses announced to the peer (server side).
+    announced: HashSet<Addr>,
+}
+
+/// The kernel full-mesh path manager.
+#[derive(Debug, Default)]
+pub struct FullMeshPm {
+    conns: HashMap<ConnToken, ConnRec>,
+    /// Subflows opened over the lifetime (diagnostics).
+    pub subflows_opened: u64,
+}
+
+impl FullMeshPm {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create every missing (local × remote) subflow for `token`.
+    fn mesh(&mut self, token: ConnToken, view: &dyn StackView, actions: &mut PmActions) {
+        let Some(rec) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !rec.is_client {
+            return;
+        }
+        for local in view.local_addrs() {
+            for (_, remote, port) in view.remote_addrs(token) {
+                if rec.pairs.insert((local, remote)) {
+                    self.subflows_opened += 1;
+                    actions.push(PmAction::OpenSubflow {
+                        token,
+                        src: local,
+                        src_port: 0,
+                        dst: remote,
+                        dst_port: if port != 0 { port } else { rec.dst_port },
+                        backup: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Server side: announce local addresses the peer cannot see.
+    fn announce(&mut self, token: ConnToken, view: &dyn StackView, actions: &mut PmActions) {
+        let Some(rec) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if rec.is_client {
+            return;
+        }
+        let mut next_id = rec.announced.len() as u8 + 1;
+        for local in view.local_addrs() {
+            // The address the connection already uses needs no announcing.
+            let already_used = rec.pairs.iter().any(|(l, _)| *l == local);
+            if !already_used && rec.announced.insert(local) {
+                actions.push(PmAction::AnnounceAddr {
+                    token,
+                    addr_id: next_id,
+                    addr: local,
+                });
+                next_id += 1;
+            }
+        }
+    }
+}
+
+impl PathManagerHook for FullMeshPm {
+    fn on_event(&mut self, ev: &PmEvent, view: &dyn StackView, actions: &mut PmActions) {
+        match ev {
+            PmEvent::ConnCreated {
+                token,
+                tuple,
+                is_client,
+                ..
+            } => {
+                let rec = self.conns.entry(*token).or_default();
+                rec.is_client = *is_client;
+                rec.dst_port = tuple.dst_port;
+                rec.pairs.insert((tuple.src, tuple.dst));
+            }
+            PmEvent::ConnEstablished { token, .. } => {
+                self.mesh(*token, view, actions);
+                self.announce(*token, view, actions);
+            }
+            PmEvent::ConnClosed { token } => {
+                self.conns.remove(token);
+            }
+            PmEvent::SubflowEstablished { token, tuple, .. } => {
+                if let Some(rec) = self.conns.get_mut(token) {
+                    rec.pairs.insert((tuple.src, tuple.dst));
+                }
+            }
+            PmEvent::SubflowClosed { token, tuple, .. } => {
+                // Forget the pair so a future address event can recreate it.
+                // (The kernel fullmesh does not retry by itself — that is
+                // exactly the gap the paper's userspace fullmesh fills.)
+                if let Some(rec) = self.conns.get_mut(token) {
+                    rec.pairs.remove(&(tuple.src, tuple.dst));
+                }
+            }
+            PmEvent::AddAddrReceived { token, .. } => {
+                self.mesh(*token, view, actions);
+            }
+            PmEvent::RemAddrReceived { .. } => {
+                // Stack already forgot the address; mesh state updates when
+                // the subflows close.
+            }
+            PmEvent::LocalAddrUp { .. } => {
+                let tokens: Vec<ConnToken> = self.conns.keys().copied().collect();
+                for t in tokens {
+                    self.mesh(t, view, actions);
+                    self.announce(t, view, actions);
+                }
+            }
+            PmEvent::LocalAddrDown { addr } => {
+                for rec in self.conns.values_mut() {
+                    rec.pairs.retain(|(l, _)| l != addr);
+                }
+            }
+            PmEvent::RtoExpired { .. } => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fullmesh"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smapp_mptcp::FourTuple;
+    use smapp_tcp::TcpInfo;
+
+    /// A canned view for unit tests.
+    struct FakeView {
+        locals: Vec<Addr>,
+        remotes: Vec<(u8, Addr, u16)>,
+    }
+    impl StackView for FakeView {
+        fn subflow_info(&self, _: ConnToken, _: u8) -> Option<TcpInfo> {
+            None
+        }
+        fn subflow_ids(&self, _: ConnToken) -> Vec<u8> {
+            vec![]
+        }
+        fn local_addrs(&self) -> Vec<Addr> {
+            self.locals.clone()
+        }
+        fn remote_addrs(&self, _: ConnToken) -> Vec<(u8, Addr, u16)> {
+            self.remotes.clone()
+        }
+    }
+
+    const L1: Addr = Addr::new(10, 0, 0, 1);
+    const L2: Addr = Addr::new(10, 0, 2, 1);
+    const R1: Addr = Addr::new(10, 0, 1, 1);
+    const R2: Addr = Addr::new(10, 0, 3, 1);
+
+    fn tuple() -> FourTuple {
+        FourTuple {
+            src: L1,
+            src_port: 40000,
+            dst: R1,
+            dst_port: 80,
+        }
+    }
+
+    fn created_and_estab(pm: &mut FullMeshPm, view: &FakeView, is_client: bool) -> PmActions {
+        let mut actions = PmActions::new();
+        pm.on_event(
+            &PmEvent::ConnCreated {
+                token: 1,
+                tuple: tuple(),
+                initial_subflow: 0,
+                is_client,
+            },
+            view,
+            &mut actions,
+        );
+        pm.on_event(
+            &PmEvent::ConnEstablished {
+                token: 1,
+                tuple: tuple(),
+                is_client,
+            },
+            view,
+            &mut actions,
+        );
+        actions
+    }
+
+    #[test]
+    fn meshes_local_by_remote() {
+        let view = FakeView {
+            locals: vec![L1, L2],
+            remotes: vec![(0, R1, 80), (1, R2, 80)],
+        };
+        let mut pm = FullMeshPm::new();
+        let mut actions = created_and_estab(&mut pm, &view, true);
+        let opens: Vec<PmAction> = actions.drain();
+        // 2 locals x 2 remotes = 4 pairs, minus the initial (L1,R1) = 3.
+        let count = opens
+            .iter()
+            .filter(|a| matches!(a, PmAction::OpenSubflow { .. }))
+            .count();
+        assert_eq!(count, 3);
+        assert_eq!(pm.subflows_opened, 3);
+    }
+
+    #[test]
+    fn server_announces_not_meshes() {
+        let view = FakeView {
+            locals: vec![R1, R2],
+            remotes: vec![(0, L1, 40000)],
+        };
+        let mut pm = FullMeshPm::new();
+        // Server perspective: tuple src=R1 (local), dst=L1.
+        let mut actions = PmActions::new();
+        pm.on_event(
+            &PmEvent::ConnCreated {
+                token: 1,
+                tuple: FourTuple {
+                    src: R1,
+                    src_port: 80,
+                    dst: L1,
+                    dst_port: 40000,
+                },
+                initial_subflow: 0,
+                is_client: false,
+            },
+            &view,
+            &mut actions,
+        );
+        pm.on_event(
+            &PmEvent::ConnEstablished {
+                token: 1,
+                tuple: FourTuple {
+                    src: R1,
+                    src_port: 80,
+                    dst: L1,
+                    dst_port: 40000,
+                },
+                is_client: false,
+            },
+            &view,
+            &mut actions,
+        );
+        let acts = actions.drain();
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, PmAction::OpenSubflow { .. })));
+        assert_eq!(
+            acts.iter()
+                .filter(|a| matches!(a, PmAction::AnnounceAddr { addr, .. } if *addr == R2))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn add_addr_extends_mesh() {
+        let view = FakeView {
+            locals: vec![L1],
+            remotes: vec![(0, R1, 80)],
+        };
+        let mut pm = FullMeshPm::new();
+        created_and_estab(&mut pm, &view, true);
+        // Remote announces R2.
+        let view2 = FakeView {
+            locals: vec![L1],
+            remotes: vec![(0, R1, 80), (5, R2, 80)],
+        };
+        let mut actions = PmActions::new();
+        pm.on_event(
+            &PmEvent::AddAddrReceived {
+                token: 1,
+                addr_id: 5,
+                addr: R2,
+                port: None,
+            },
+            &view2,
+            &mut actions,
+        );
+        let acts = actions.drain();
+        assert_eq!(acts.len(), 1);
+        assert!(
+            matches!(acts[0], PmAction::OpenSubflow { dst, .. } if dst == R2)
+        );
+    }
+
+    #[test]
+    fn local_addr_up_re_meshes() {
+        let view = FakeView {
+            locals: vec![L1],
+            remotes: vec![(0, R1, 80)],
+        };
+        let mut pm = FullMeshPm::new();
+        created_and_estab(&mut pm, &view, true);
+        let view2 = FakeView {
+            locals: vec![L1, L2],
+            remotes: vec![(0, R1, 80)],
+        };
+        let mut actions = PmActions::new();
+        pm.on_event(&PmEvent::LocalAddrUp { addr: L2 }, &view2, &mut actions);
+        let acts = actions.drain();
+        assert_eq!(
+            acts.iter()
+                .filter(
+                    |a| matches!(a, PmAction::OpenSubflow { src, .. } if *src == L2)
+                )
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn no_duplicate_subflows() {
+        let view = FakeView {
+            locals: vec![L1, L2],
+            remotes: vec![(0, R1, 80)],
+        };
+        let mut pm = FullMeshPm::new();
+        created_and_estab(&mut pm, &view, true);
+        let opened = pm.subflows_opened;
+        // Re-delivering establish-like events must not re-open.
+        let mut actions = PmActions::new();
+        pm.on_event(&PmEvent::LocalAddrUp { addr: L2 }, &view, &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(pm.subflows_opened, opened);
+    }
+
+    #[test]
+    fn closed_subflow_pair_can_reopen_on_addr_event() {
+        let view = FakeView {
+            locals: vec![L1, L2],
+            remotes: vec![(0, R1, 80)],
+        };
+        let mut pm = FullMeshPm::new();
+        created_and_estab(&mut pm, &view, true);
+        let mut actions = PmActions::new();
+        pm.on_event(
+            &PmEvent::SubflowClosed {
+                token: 1,
+                id: 1,
+                tuple: FourTuple {
+                    src: L2,
+                    src_port: 5,
+                    dst: R1,
+                    dst_port: 80,
+                },
+                error: smapp_mptcp::SubflowError::Timeout,
+            },
+            &view,
+            &mut actions,
+        );
+        pm.on_event(&PmEvent::LocalAddrUp { addr: L2 }, &view, &mut actions);
+        let acts = actions.drain();
+        assert_eq!(
+            acts.iter()
+                .filter(
+                    |a| matches!(a, PmAction::OpenSubflow { src, .. } if *src == L2)
+                )
+                .count(),
+            1,
+            "pair freed by sub_closed can be re-created"
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! The host node: a complete endpoint for the network simulator.
+//!
+//! A [`Host`] wires together, exactly as the paper's Figure 1 draws it:
+//!
+//! ```text
+//!   ┌──────────────────────────────┐
+//!   │  subflow controller          │   userspace  (crate `smapp`)
+//!   │  (UserProcess)               │
+//!   └──────▲──────────────┬────────┘
+//!          │ netlink msgs │          ← LatencyModel per crossing
+//!   ┌──────┴──────────────▼────────┐
+//!   │  NetlinkPm / FullMeshPm / …  │   kernel path manager
+//!   │  HostStack (MPTCP engine)    │   kernel data plane
+//!   └──────────────────────────────┘
+//! ```
+//!
+//! Packets go to/from the simulator through the host's interfaces; netlink
+//! frames cross the user/kernel boundary with sampled latency — the cost
+//! Fig. 3 measures.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use bytes::Bytes;
+use smapp_mptcp::{
+    App, ConnToken, HostStack, OutPacket, PathManagerHook, PmAction, PmActions, StackConfig,
+    StackEnv,
+};
+use smapp_netlink::{
+    decode, encode_ack, encode_info_reply, LatencyModel, PmNlCommand, PmNlMessage, UserCtx,
+    UserProcess,
+};
+use smapp_sim::{Addr, Ctx, IfaceId, Node, Packet, SimRng, SimTime};
+
+use crate::netlink_pm::NetlinkPm;
+
+/// Timer-token domains (top nibble). Domains 1–3 belong to the stack.
+const D_USER_TIMER: u64 = 4 << 60;
+const D_TO_USER: u64 = 5 << 60;
+const D_TO_KERNEL: u64 = 6 << 60;
+const D_CONNECT: u64 = 7 << 60;
+const PAYLOAD: u64 = (1 << 60) - 1;
+
+/// Work items the host feeds through the stack.
+enum Work {
+    Packet(Packet),
+    StackTimer(u64),
+    Connect {
+        src: Option<Addr>,
+        dst: Addr,
+        dst_port: u16,
+        app: Box<dyn App>,
+    },
+    Action(PmAction),
+    LocalAddr(Addr, bool),
+}
+
+/// A client connection scheduled for a future simulated time:
+/// `(when, source address, destination, port, app)`.
+type ScheduledConnect = (SimTime, Option<Addr>, Addr, u16, Option<Box<dyn App>>);
+
+/// Outputs of one stack invocation.
+struct StackOut {
+    packets: Vec<OutPacket>,
+    timers: Vec<(Duration, u64)>,
+    connects: Vec<smapp_mptcp::ConnectRequest>,
+    stop: bool,
+    action_ok: bool,
+}
+
+/// One simulated multihomed endpoint.
+pub struct Host {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// The in-kernel stack.
+    pub stack: HostStack,
+    /// The kernel path manager plugged into the stack.
+    pub pm: Box<dyn PathManagerHook>,
+    /// Optional userspace subflow-controller process.
+    pub user: Option<Box<dyn UserProcess>>,
+    /// Boundary latency applied per netlink crossing.
+    pub latency: LatencyModel,
+    addr_iface: HashMap<Addr, IfaceId>,
+    pending: HashMap<u64, Bytes>,
+    next_pending: u64,
+    connects: Vec<ScheduledConnect>,
+    /// Netlink frames that failed to decode at the kernel (diagnostics).
+    pub malformed_commands: u64,
+}
+
+impl Host {
+    /// A host with the given stack config, no path manager (`NoopPm`) and
+    /// no userspace process.
+    pub fn new(name: impl Into<String>, cfg: StackConfig) -> Self {
+        Host {
+            name: name.into(),
+            stack: HostStack::new(cfg),
+            pm: Box::new(smapp_mptcp::NoopPm),
+            user: None,
+            latency: LatencyModel::Zero,
+            addr_iface: HashMap::new(),
+            pending: HashMap::new(),
+            next_pending: 0,
+            connects: Vec::new(),
+            malformed_commands: 0,
+        }
+    }
+
+    /// Plug in a kernel path manager.
+    pub fn with_pm(mut self, pm: Box<dyn PathManagerHook>) -> Self {
+        self.pm = pm;
+        self
+    }
+
+    /// Attach a userspace process behind the given boundary latency. Also
+    /// installs a [`NetlinkPm`] as the kernel path manager.
+    pub fn with_user(mut self, user: Box<dyn UserProcess>, latency: LatencyModel) -> Self {
+        self.pm = Box::new(NetlinkPm::new());
+        self.user = Some(user);
+        self.latency = latency;
+        self
+    }
+
+    /// Listen on `port` with a per-connection app factory.
+    pub fn listen(&mut self, port: u16, factory: smapp_mptcp::stack::AppFactory) {
+        self.stack.listen(port, factory);
+    }
+
+    /// Schedule a client connection at simulated time `at`.
+    pub fn connect_at(
+        &mut self,
+        at: SimTime,
+        src: Option<Addr>,
+        dst: Addr,
+        dst_port: u16,
+        app: Box<dyn App>,
+    ) {
+        self.connects.push((at, src, dst, dst_port, Some(app)));
+    }
+
+    /// Downcast the userspace process.
+    pub fn user_as<T: 'static>(&self) -> Option<&T> {
+        self.user.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Run one work item through the stack, then the kernel-PM loop.
+    fn run_stack(&mut self, rng: &mut SimRng, now: SimTime, work: Work) -> StackOut {
+        let mut env = StackEnv::new(now, rng);
+        let mut action_ok = true;
+        match work {
+            Work::Packet(p) => self.stack.on_packet(&mut env, &p),
+            Work::StackTimer(t) => self.stack.on_timer(&mut env, t),
+            Work::Connect {
+                src,
+                dst,
+                dst_port,
+                app,
+            } => {
+                self.stack.connect(&mut env, src, dst, dst_port, app);
+            }
+            Work::Action(a) => {
+                action_ok = self.stack.apply_action(&mut env, &a);
+            }
+            Work::LocalAddr(addr, up) => self.stack.on_local_addr(&mut env, addr, up),
+        }
+        // Kernel path-manager loop: events -> actions -> (more events) ...
+        for _ in 0..8 {
+            let events = self.stack.take_events();
+            if events.is_empty() {
+                break;
+            }
+            let mut actions = PmActions::new();
+            for ev in &events {
+                self.pm.on_event(ev, &self.stack, &mut actions);
+            }
+            for a in actions.drain() {
+                self.stack.apply_action(&mut env, &a);
+            }
+        }
+        let StackEnv {
+            out,
+            timers,
+            connects,
+            stop,
+            ..
+        } = env;
+        StackOut {
+            packets: out,
+            timers,
+            connects,
+            stop,
+            action_ok,
+        }
+    }
+
+    /// Feed a work item (and any follow-up connects) through the stack,
+    /// then flush packets/timers into the simulator and drain the netlink
+    /// outbox toward userspace.
+    fn drive(&mut self, ctx: &mut Ctx<'_>, work: Work) -> bool {
+        let now = ctx.now();
+        let mut queue: VecDeque<Work> = VecDeque::new();
+        queue.push_back(work);
+        let mut packets = Vec::new();
+        let mut timers = Vec::new();
+        let mut stop = false;
+        let mut first_action_ok = true;
+        let mut first = true;
+        while let Some(w) = queue.pop_front() {
+            let out = self.run_stack(ctx.rng(), now, w);
+            if first {
+                first_action_ok = out.action_ok;
+                first = false;
+            }
+            packets.extend(out.packets);
+            timers.extend(out.timers);
+            stop |= out.stop;
+            for c in out.connects {
+                queue.push_back(Work::Connect {
+                    src: c.src,
+                    dst: c.dst,
+                    dst_port: c.dst_port,
+                    app: c.app,
+                });
+            }
+        }
+        for p in packets {
+            if let Some(&iface) = self.addr_iface.get(&p.src) {
+                ctx.send(iface, Packet::tcp(p.src, p.dst, p.seg));
+            }
+        }
+        for (d, t) in timers {
+            ctx.set_timer_after(d, t);
+        }
+        if stop {
+            ctx.stop();
+        }
+        self.flush_netlink_outbox(ctx);
+        first_action_ok
+    }
+
+    /// Move frames queued by the NetlinkPm across the boundary (adds one
+    /// latency sample each).
+    fn flush_netlink_outbox(&mut self, ctx: &mut Ctx<'_>) {
+        if self.user.is_none() {
+            return;
+        }
+        let frames = match self.pm.as_any_mut().downcast_mut::<NetlinkPm>() {
+            Some(nl) => nl.take_outbox(),
+            None => return,
+        };
+        for f in frames {
+            self.schedule_boundary(ctx, f, D_TO_USER);
+        }
+    }
+
+    fn schedule_boundary(&mut self, ctx: &mut Ctx<'_>, frame: Bytes, domain: u64) {
+        let id = self.next_pending;
+        self.next_pending += 1;
+        self.pending.insert(id, frame);
+        let d = self.latency.sample(ctx.rng());
+        ctx.set_timer_after(d, domain | (id & PAYLOAD));
+    }
+
+    /// Run a userspace callback and route its outputs.
+    fn run_user(&mut self, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut dyn UserProcess, &mut UserCtx<'_>)) {
+        let Some(user) = self.user.as_mut() else {
+            return;
+        };
+        let now = ctx.now();
+        let (to_kernel, timers) = {
+            let mut uctx = UserCtx::new(now, ctx.rng());
+            f(user.as_mut(), &mut uctx);
+            (uctx.to_kernel, uctx.timers)
+        };
+        for frame in to_kernel {
+            self.schedule_boundary(ctx, frame, D_TO_KERNEL);
+        }
+        for (d, tok) in timers {
+            debug_assert!(tok <= PAYLOAD, "user timer token too large");
+            ctx.set_timer_after(d, D_USER_TIMER | (tok & PAYLOAD));
+        }
+    }
+
+    /// A frame crossed into the kernel: decode and execute.
+    fn kernel_receive(&mut self, ctx: &mut Ctx<'_>, frame: Bytes) {
+        let msg = match decode(&frame) {
+            Ok(m) => m,
+            Err(_) => {
+                self.malformed_commands += 1;
+                return;
+            }
+        };
+        let PmNlMessage::Command { seq, cmd } = msg else {
+            self.malformed_commands += 1;
+            return;
+        };
+        match cmd {
+            PmNlCommand::Subscribe { mask } => {
+                if let Some(nl) = self.pm.as_any_mut().downcast_mut::<NetlinkPm>() {
+                    nl.mask = mask;
+                    let ack = encode_ack(seq, 0);
+                    self.schedule_boundary(ctx, ack, D_TO_USER);
+                    // Netlink dump semantics: a fresh subscriber learns the
+                    // current local addresses immediately (real controllers
+                    // do an RTM_GETADDR dump at startup).
+                    let up_bit = smapp_mptcp::PmEvent::LocalAddrUp {
+                        addr: smapp_sim::Addr::UNSPECIFIED,
+                    }
+                    .mask_bit();
+                    if mask & up_bit != 0 {
+                        for addr in self.stack.local_addrs_up() {
+                            let ev = smapp_mptcp::PmEvent::LocalAddrUp { addr };
+                            let frame = smapp_netlink::encode_event(&ev);
+                            self.schedule_boundary(ctx, frame, D_TO_USER);
+                        }
+                    }
+                }
+            }
+            PmNlCommand::GetInfo { token, id } => {
+                let reply = self.build_info_reply(seq, token, id);
+                self.schedule_boundary(ctx, reply, D_TO_USER);
+            }
+            other => {
+                let action = other.to_action().expect("remaining commands map to actions");
+                let ok = self.drive(ctx, Work::Action(action));
+                let ack = encode_ack(seq, if ok { 0 } else { 2 /* ENOENT */ });
+                self.schedule_boundary(ctx, ack, D_TO_USER);
+            }
+        }
+    }
+
+    fn build_info_reply(&self, seq: u32, token: ConnToken, id: Option<u8>) -> Bytes {
+        use smapp_mptcp::StackView;
+        let ids = match id {
+            Some(one) => vec![one],
+            None => self.stack.subflow_ids(token),
+        };
+        let infos: Vec<(u8, smapp_tcp::TcpInfo)> = ids
+            .into_iter()
+            .filter_map(|sid| self.stack.subflow_info(token, sid).map(|i| (sid, i)))
+            .collect();
+        let conn = self
+            .stack
+            .conn_info(token)
+            .map(|ci| (ci.meta_una, ci.meta_snd_nxt));
+        encode_info_reply(seq, token, conn, &infos)
+    }
+}
+
+impl Node for Host {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Wire up interfaces.
+        for (id, iface) in ctx.my_ifaces() {
+            self.addr_iface.insert(iface.addr, id);
+            self.stack.set_local_addr(iface.addr, iface.up);
+        }
+        // Give the controller a chance to subscribe.
+        self.run_user(ctx, |u, uctx| u.on_start(uctx));
+        // Schedule the workload.
+        for (i, (at, ..)) in self.connects.iter().enumerate() {
+            ctx.set_timer_at(*at, D_CONNECT | i as u64);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, pkt: Packet) {
+        self.drive(ctx, Work::Packet(pkt));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token >> 60 {
+            1..=3 => {
+                self.drive(ctx, Work::StackTimer(token));
+            }
+            4 => {
+                let tok = token & PAYLOAD;
+                self.run_user(ctx, |u, uctx| u.on_timer(uctx, tok));
+            }
+            5 => {
+                if let Some(frame) = self.pending.remove(&(token & PAYLOAD)) {
+                    self.run_user(ctx, |u, uctx| u.on_message(uctx, frame));
+                }
+            }
+            6 => {
+                if let Some(frame) = self.pending.remove(&(token & PAYLOAD)) {
+                    self.kernel_receive(ctx, frame);
+                }
+            }
+            7 => {
+                let idx = (token & PAYLOAD) as usize;
+                if let Some((_, src, dst, port, app)) = self.connects.get_mut(idx) {
+                    if let Some(app) = app.take() {
+                        let (src, dst, port) = (*src, *dst, *port);
+                        self.drive(
+                            ctx,
+                            Work::Connect {
+                                src,
+                                dst,
+                                dst_port: port,
+                                app,
+                            },
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_iface_admin(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, up: bool) {
+        let addr = ctx.iface(iface).addr;
+        self.addr_iface.insert(addr, iface);
+        self.drive(ctx, Work::LocalAddr(addr, up));
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,28 @@
+//! # smapp-pm — path managers and the simulated host
+//!
+//! The path-manager layer of the SMAPP reproduction:
+//!
+//! * [`fullmesh`] / [`ndiffports`] — the two in-kernel strategies that
+//!   shipped with the Linux MPTCP kernel, used as baselines throughout the
+//!   paper's evaluation;
+//! * [`netlink_pm`] — the paper's contribution on the kernel side: a path
+//!   manager that delegates every decision to userspace over netlink;
+//! * [`mod@host`] — a complete simulated endpoint ([`Host`]): stack + kernel
+//!   path manager + optional userspace controller behind a latency-modeled
+//!   netlink boundary, pluggable into `smapp-sim` as a node;
+//! * [`topo`] — the paper's Mininet topologies (two-path, ECMP fan,
+//!   firewalled) as one-call builders.
+
+#![warn(missing_docs)]
+
+pub mod fullmesh;
+pub mod host;
+pub mod ndiffports;
+pub mod netlink_pm;
+pub mod topo;
+
+pub use fullmesh::FullMeshPm;
+pub use host::Host;
+pub use ndiffports::NdiffportsPm;
+pub use netlink_pm::NetlinkPm;
+pub use topo::{ecmp, firewalled, host, host_mut, two_path, EcmpNet, FirewalledNet, TwoPathNet};

@@ -1,0 +1,313 @@
+//! Network addresses, prefixes and flow keys.
+//!
+//! The simulator routes on 32-bit IPv4-style addresses. Load-balancing
+//! routers classify packets by their [`FlowKey`] — the classic 5-tuple — and
+//! hash it with a deterministic mixing function, exactly like ECMP hardware
+//! hashes headers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4-style network address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Addr = Addr(0);
+
+    /// Build from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// True if this is the unspecified address.
+    pub const fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// Error returned when parsing an [`Addr`] or [`AddrPrefix`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError(pub String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address: {}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for Addr {
+    type Err = AddrParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in octets.iter_mut() {
+            let part = parts.next().ok_or_else(|| AddrParseError(s.into()))?;
+            *slot = part.parse().map_err(|_| AddrParseError(s.into()))?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError(s.into()));
+        }
+        Ok(Addr(u32::from_be_bytes(octets)))
+    }
+}
+
+/// A CIDR prefix used in routing tables.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrPrefix {
+    addr: Addr,
+    len: u8,
+}
+
+impl AddrPrefix {
+    /// Build a prefix; host bits of `addr` are masked off. `len` must be 0..=32.
+    pub fn new(addr: Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length must be <= 32");
+        AddrPrefix {
+            addr: Addr(addr.0 & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: AddrPrefix = AddrPrefix {
+        addr: Addr(0),
+        len: 0,
+    };
+
+    /// A host route `addr/32`.
+    pub fn host(addr: Addr) -> Self {
+        AddrPrefix::new(addr, 32)
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length (default) prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does `addr` fall inside this prefix?
+    pub fn contains(&self, addr: Addr) -> bool {
+        (addr.0 & Self::mask(self.len)) == self.addr.0
+    }
+}
+
+impl fmt::Debug for AddrPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for AddrPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for AddrPrefix {
+    type Err = AddrParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((a, l)) => {
+                let addr: Addr = a.parse()?;
+                let len: u8 = l.parse().map_err(|_| AddrParseError(s.into()))?;
+                if len > 32 {
+                    return Err(AddrParseError(s.into()));
+                }
+                Ok(AddrPrefix::new(addr, len))
+            }
+            None => Ok(AddrPrefix::host(s.parse()?)),
+        }
+    }
+}
+
+/// The classic 5-tuple identifying a transport flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP).
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// The key of the reverse direction of this flow.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A direction-independent form: the lexicographically smaller of
+    /// `self` and `self.reversed()`. Both directions of a flow map to the
+    /// same normalized key, which is what stateful middleboxes track.
+    pub fn normalized(&self) -> FlowKey {
+        let rev = self.reversed();
+        if (self.src, self.src_port) <= (rev.src, rev.src_port) {
+            *self
+        } else {
+            rev
+        }
+    }
+
+    /// Deterministic 32-bit hash of the 5-tuple.
+    ///
+    /// This is the function ECMP routers in the simulator use to pick a
+    /// next-hop. It must be stable across runs (reproducibility) and
+    /// well-mixed so that ports differing in one bit land on different
+    /// paths. We use the 64-bit finalizer from SplitMix64 over a packed
+    /// representation, with a per-router salt.
+    pub fn ecmp_hash(&self, salt: u64) -> u32 {
+        let packed = ((self.src.0 as u64) << 32 | self.dst.0 as u64)
+            ^ ((self.src_port as u64) << 48
+                | (self.dst_port as u64) << 32
+                | (self.proto as u64) << 24);
+        let mut z = packed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 32) as u32
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} > {}:{} proto {}",
+            self.src, self.src_port, self.dst, self.dst_port, self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip_display_parse() {
+        let a = Addr::new(10, 0, 3, 25);
+        assert_eq!(a.to_string(), "10.0.3.25");
+        assert_eq!("10.0.3.25".parse::<Addr>().unwrap(), a);
+        assert_eq!(a.octets(), [10, 0, 3, 25]);
+    }
+
+    #[test]
+    fn addr_parse_rejects_garbage() {
+        assert!("10.0.0".parse::<Addr>().is_err());
+        assert!("10.0.0.0.1".parse::<Addr>().is_err());
+        assert!("10.0.0.256".parse::<Addr>().is_err());
+        assert!("".parse::<Addr>().is_err());
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p: AddrPrefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p.contains("10.1.200.7".parse().unwrap()));
+        assert!(!p.contains("10.2.0.1".parse().unwrap()));
+        assert!(AddrPrefix::DEFAULT.contains(Addr::new(1, 2, 3, 4)));
+        let host = AddrPrefix::host(Addr::new(10, 0, 0, 1));
+        assert!(host.contains(Addr::new(10, 0, 0, 1)));
+        assert!(!host.contains(Addr::new(10, 0, 0, 2)));
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = AddrPrefix::new(Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn prefix_parse_rejects_bad_len() {
+        assert!("10.0.0.0/33".parse::<AddrPrefix>().is_err());
+    }
+
+    #[test]
+    fn flow_key_reverse_and_normalize() {
+        let k = FlowKey {
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::new(10, 0, 0, 2),
+            src_port: 4000,
+            dst_port: 80,
+            proto: 6,
+        };
+        let r = k.reversed();
+        assert_eq!(r.src, k.dst);
+        assert_eq!(r.dst_port, k.src_port);
+        assert_eq!(k.normalized(), r.normalized());
+    }
+
+    #[test]
+    fn ecmp_hash_is_deterministic_and_salted() {
+        let k = FlowKey {
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::new(10, 0, 0, 2),
+            src_port: 4000,
+            dst_port: 80,
+            proto: 6,
+        };
+        assert_eq!(k.ecmp_hash(7), k.ecmp_hash(7));
+        assert_ne!(k.ecmp_hash(7), k.ecmp_hash(8));
+    }
+
+    #[test]
+    fn ecmp_hash_spreads_ports() {
+        // 100 consecutive source ports over 4 buckets must not all collide:
+        // every bucket should see some flows.
+        let mut buckets = [0u32; 4];
+        for p in 0..100u16 {
+            let k = FlowKey {
+                src: Addr::new(10, 0, 0, 1),
+                dst: Addr::new(10, 0, 0, 2),
+                src_port: 40_000 + p,
+                dst_port: 80,
+                proto: 6,
+            };
+            buckets[(k.ecmp_hash(0) % 4) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 10), "skewed: {buckets:?}");
+    }
+}

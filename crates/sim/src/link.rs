@@ -1,0 +1,245 @@
+//! Links: bandwidth, propagation delay, drop-tail queues and loss models.
+//!
+//! A link is full duplex: each direction has an independent serializer,
+//! queue and loss model. Packets experience, in order:
+//!
+//! 1. queueing (drop-tail when the queue is full),
+//! 2. serialization delay (`wire_len * 8 / rate`),
+//! 3. a loss trial (a lost packet still consumed serializer time),
+//! 4. propagation delay.
+//!
+//! Loss models can change over simulated time ([`LossModel::Schedule`]),
+//! which is how the Fig. 2a experiment raises the primary path's loss ratio
+//! to 30 % one second into the transfer.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifies a link within a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// One direction of a link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dir {
+    /// From endpoint A to endpoint B.
+    AtoB,
+    /// From endpoint B to endpoint A.
+    BtoA,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::AtoB => Dir::BtoA,
+            Dir::BtoA => Dir::AtoB,
+        }
+    }
+}
+
+/// Random-loss behaviour of one link direction.
+#[derive(Clone, Debug)]
+pub enum LossModel {
+    /// No random loss (queue drops still happen).
+    None,
+    /// Independent Bernoulli loss with the given probability.
+    Bernoulli(f64),
+    /// Piecewise-constant loss ratio over time: `(from, p)` entries sorted
+    /// by `from`; the ratio in force is the last entry whose `from <= now`.
+    /// Before the first entry the ratio is 0.
+    Schedule(Vec<(SimTime, f64)>),
+}
+
+impl LossModel {
+    /// The loss probability in force at `now`.
+    pub fn ratio_at(&self, now: SimTime) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli(p) => *p,
+            LossModel::Schedule(entries) => entries
+                .iter()
+                .take_while(|(from, _)| *from <= now)
+                .last()
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Perform a loss trial at `now`.
+    pub fn drops(&self, now: SimTime, rng: &mut SimRng) -> bool {
+        rng.chance(self.ratio_at(now))
+    }
+}
+
+/// Static configuration of one link (both directions share it unless
+/// overridden with [`crate::Simulator::connect_asym`]).
+#[derive(Clone, Debug)]
+pub struct LinkCfg {
+    /// Serialization rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Queue capacity in packets (drop-tail).
+    pub queue_pkts: usize,
+    /// Random loss model.
+    pub loss: LossModel,
+}
+
+impl LinkCfg {
+    /// A link with the given rate (bits/s) and one-way delay, a 100-packet
+    /// queue and no random loss.
+    pub fn new(rate_bps: u64, delay: Duration) -> Self {
+        LinkCfg {
+            rate_bps,
+            delay,
+            queue_pkts: 100,
+            loss: LossModel::None,
+        }
+    }
+
+    /// Convenience: rate in Mb/s and delay in ms.
+    pub fn mbps_ms(mbps: u64, ms: u64) -> Self {
+        LinkCfg::new(mbps * 1_000_000, Duration::from_millis(ms))
+    }
+
+    /// Set the queue capacity (packets).
+    pub fn queue(mut self, pkts: usize) -> Self {
+        self.queue_pkts = pkts;
+        self
+    }
+
+    /// Set the loss model.
+    pub fn loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+}
+
+/// Why a packet was dropped on a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The drop-tail queue was full.
+    QueueFull,
+    /// The random loss model fired.
+    Random,
+    /// The interface at the receiving end was administratively down.
+    IfaceDown,
+    /// TTL expired at a router.
+    TtlExpired,
+    /// A router had no route to the destination.
+    NoRoute,
+    /// A stateful middlebox had no state for the flow.
+    StateDenied,
+}
+
+/// Runtime state of one direction of one link.
+#[derive(Debug)]
+pub struct LinkDirState {
+    /// Configuration for this direction.
+    pub cfg: LinkCfg,
+    /// Queued packets awaiting serialization.
+    pub queue: VecDeque<Packet>,
+    /// Whether the serializer is currently transmitting a packet.
+    pub busy: bool,
+    /// Cumulative counters for reporting.
+    pub stats: LinkDirStats,
+}
+
+/// Counters kept per link direction.
+#[derive(Debug, Default, Clone)]
+pub struct LinkDirStats {
+    /// Packets accepted into the queue.
+    pub enqueued: u64,
+    /// Packets fully delivered to the far end.
+    pub delivered: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped_queue: u64,
+    /// Packets dropped by the random loss model.
+    pub dropped_random: u64,
+    /// Total payload+header bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl LinkDirState {
+    /// New idle direction with the given configuration.
+    pub fn new(cfg: LinkCfg) -> Self {
+        LinkDirState {
+            cfg,
+            queue: VecDeque::new(),
+            busy: false,
+            stats: LinkDirStats::default(),
+        }
+    }
+
+    /// Try to accept a packet into the queue. Returns false (and counts the
+    /// drop) when the queue is full.
+    pub fn enqueue(&mut self, pkt: Packet) -> bool {
+        if self.queue.len() >= self.cfg.queue_pkts {
+            self.stats.dropped_queue += 1;
+            false
+        } else {
+            self.stats.enqueued += 1;
+            self.queue.push_back(pkt);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use bytes::Bytes;
+
+    fn pkt() -> Packet {
+        Packet::tcp(Addr::new(1, 0, 0, 1), Addr::new(1, 0, 0, 2), Bytes::new())
+    }
+
+    #[test]
+    fn loss_schedule_lookup() {
+        let m = LossModel::Schedule(vec![
+            (SimTime::from_secs(1), 0.3),
+            (SimTime::from_secs(5), 0.0),
+        ]);
+        assert_eq!(m.ratio_at(SimTime::ZERO), 0.0);
+        assert_eq!(m.ratio_at(SimTime::from_millis(999)), 0.0);
+        assert_eq!(m.ratio_at(SimTime::from_secs(1)), 0.3);
+        assert_eq!(m.ratio_at(SimTime::from_secs(4)), 0.3);
+        assert_eq!(m.ratio_at(SimTime::from_secs(6)), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_ratio() {
+        assert_eq!(LossModel::Bernoulli(0.25).ratio_at(SimTime::ZERO), 0.25);
+        assert_eq!(LossModel::None.ratio_at(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn queue_drop_tail() {
+        let mut d = LinkDirState::new(LinkCfg::mbps_ms(10, 5).queue(2));
+        assert!(d.enqueue(pkt()));
+        assert!(d.enqueue(pkt()));
+        assert!(!d.enqueue(pkt()));
+        assert_eq!(d.stats.enqueued, 2);
+        assert_eq!(d.stats.dropped_queue, 1);
+        assert_eq!(d.queue.len(), 2);
+    }
+
+    #[test]
+    fn mbps_ms_builder() {
+        let c = LinkCfg::mbps_ms(8, 40);
+        assert_eq!(c.rate_bps, 8_000_000);
+        assert_eq!(c.delay, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::AtoB.flip(), Dir::BtoA);
+        assert_eq!(Dir::BtoA.flip(), Dir::AtoB);
+    }
+}

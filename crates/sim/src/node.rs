@@ -1,0 +1,71 @@
+//! Nodes and interfaces.
+//!
+//! Everything attached to the simulated network — hosts, routers,
+//! middleboxes — implements [`Node`]. The simulator owns the nodes and
+//! dispatches packet deliveries, timer expiries and administrative interface
+//! changes to them, handing each callback a [`crate::world::Ctx`] through
+//! which the node sends packets and arms timers.
+
+use std::any::Any;
+
+use crate::addr::Addr;
+use crate::link::{Dir, LinkId};
+use crate::packet::Packet;
+use crate::world::Ctx;
+
+/// Index of a node within a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Global index of an interface within a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct IfaceId(pub usize);
+
+/// A network interface: the attachment point between a node and a link.
+#[derive(Clone, Debug)]
+pub struct Iface {
+    /// Owning node.
+    pub node: NodeId,
+    /// Address assigned to this interface.
+    pub addr: Addr,
+    /// The link this interface is plugged into and the direction used when
+    /// *sending* from it. `None` for unplugged interfaces.
+    pub link: Option<(LinkId, Dir)>,
+    /// Administrative + operational state. A down interface neither sends
+    /// nor receives; deliveries to it are dropped.
+    pub up: bool,
+    /// Human-readable name for traces (e.g. `"wlan0"`, `"lte0"`).
+    pub name: String,
+}
+
+/// Behaviour of a simulated network element.
+///
+/// All callbacks receive a [`Ctx`] scoped to this node. Implementations must
+/// be deterministic: any randomness must come from `ctx.rng()`.
+pub trait Node {
+    /// Called once at simulation start (time zero), in node-creation order.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// A packet has been delivered to `iface`.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet);
+
+    /// A timer armed via [`Ctx::set_timer_after`] has fired. `token` is the
+    /// value passed when arming. Timers cannot be cancelled; owners should
+    /// keep their own expected deadline and ignore stale firings.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// An interface owned by this node changed administrative state.
+    fn on_iface_admin(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, up: bool) {
+        let _ = (ctx, iface, up);
+    }
+
+    /// Downcast support so scenario code can inspect node state after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

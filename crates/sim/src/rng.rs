@@ -1,0 +1,128 @@
+//! Seeded randomness for reproducible runs.
+//!
+//! Every simulation owns exactly one [`SimRng`], seeded from the scenario
+//! seed. All stochastic behaviour — Bernoulli packet loss, random ephemeral
+//! ports, latency-model jitter — draws from it, so a `(scenario, seed)` pair
+//! fully determines a run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulation-wide random number generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Bernoulli trial: returns true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// A random ephemeral TCP port in the Linux default range 32768..=60999.
+    pub fn ephemeral_port(&mut self) -> u16 {
+        self.inner.random_range(32_768u16..=60_999)
+    }
+
+    /// Sample a log-normal distribution given the *median* and the shape
+    /// parameter `sigma` (standard deviation of the underlying normal).
+    ///
+    /// Used by the netlink latency model: userspace scheduling delays are
+    /// right-skewed with a heavy tail, which a log-normal captures well.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        // Box-Muller transform; consumes two uniforms.
+        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.inner.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        median * (sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1 << 40), b.range_u64(0, 1 << 40));
+        }
+    }
+
+    #[test]
+    fn different_seed_diverges() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.range_u64(0, 1 << 40)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.range_u64(0, 1 << 40)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_edges() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut r = SimRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn ephemeral_ports_in_linux_range() {
+        let mut r = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let p = r.ephemeral_port();
+            assert!((32_768..=60_999).contains(&p));
+        }
+    }
+
+    #[test]
+    fn log_normal_median_close() {
+        let mut r = SimRng::seed_from_u64(6);
+        let mut v: Vec<f64> = (0..10_001).map(|_| r.log_normal(20.0, 0.5)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[5_000];
+        assert!((15.0..25.0).contains(&median), "median={median}");
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+}

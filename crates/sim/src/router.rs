@@ -1,0 +1,180 @@
+//! Routers with longest-prefix-match forwarding and ECMP.
+//!
+//! A [`Router`] forwards packets between its interfaces. Each route maps a
+//! destination prefix to one *or several* egress interfaces; with several,
+//! the router picks one by hashing the packet's 5-tuple — flow-level
+//! load-balancing exactly as described in §4.4 of the paper ("load-balancing
+//! routers compute a hash over the four-tuple to select the path for each
+//! flow"). The hash is salted per router so cascaded routers don't make
+//! correlated choices.
+
+use std::any::Any;
+
+use crate::addr::AddrPrefix;
+use crate::node::{IfaceId, Node};
+use crate::packet::Packet;
+use crate::world::Ctx;
+
+/// One routing-table entry.
+#[derive(Clone, Debug)]
+pub struct Route {
+    /// Destination prefix this entry covers.
+    pub prefix: AddrPrefix,
+    /// Candidate egress interfaces; >1 means ECMP across them.
+    pub egress: Vec<IfaceId>,
+}
+
+/// A router node.
+#[derive(Debug)]
+pub struct Router {
+    routes: Vec<Route>,
+    salt: u64,
+    /// Packets forwarded, for reporting.
+    pub forwarded: u64,
+    /// Packets dropped for lack of a route.
+    pub no_route: u64,
+    /// Packets dropped because TTL reached zero.
+    pub ttl_drops: u64,
+}
+
+impl Router {
+    /// A router with the given ECMP hash salt (use the router's index).
+    pub fn new(salt: u64) -> Self {
+        Router {
+            routes: Vec::new(),
+            salt,
+            forwarded: 0,
+            no_route: 0,
+            ttl_drops: 0,
+        }
+    }
+
+    /// Append a route. Lookup uses longest-prefix match; insertion order
+    /// breaks ties.
+    pub fn add_route(&mut self, prefix: AddrPrefix, egress: Vec<IfaceId>) -> &mut Self {
+        assert!(!egress.is_empty(), "route needs at least one egress");
+        self.routes.push(Route { prefix, egress });
+        self
+    }
+
+    /// Pick the egress interface for `pkt`, if any route matches.
+    pub fn select_egress(&self, pkt: &Packet) -> Option<IfaceId> {
+        let best = self
+            .routes
+            .iter()
+            .filter(|r| r.prefix.contains(pkt.dst))
+            .max_by_key(|r| r.prefix.len())?;
+        if best.egress.len() == 1 {
+            Some(best.egress[0])
+        } else {
+            let h = pkt.flow_key().ecmp_hash(self.salt);
+            Some(best.egress[h as usize % best.egress.len()])
+        }
+    }
+}
+
+impl Node for Router {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_iface: IfaceId, mut pkt: Packet) {
+        if pkt.ttl <= 1 {
+            self.ttl_drops += 1;
+            return;
+        }
+        pkt.ttl -= 1;
+        match self.select_egress(&pkt) {
+            Some(egress) => {
+                // A route pointing back out of the ingress interface would
+                // loop the packet on a point-to-point link; treat as no route.
+                if egress == in_iface {
+                    self.no_route += 1;
+                    return;
+                }
+                self.forwarded += 1;
+                ctx.send(egress, pkt);
+            }
+            None => {
+                self.no_route += 1;
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use bytes::Bytes;
+
+    fn pkt_with_ports(dst: Addr, sport: u16, dport: u16) -> Packet {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&sport.to_be_bytes());
+        payload.extend_from_slice(&dport.to_be_bytes());
+        Packet::tcp(Addr::new(10, 0, 0, 1), dst, Bytes::from(payload))
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut r = Router::new(0);
+        r.add_route("10.0.0.0/8".parse().unwrap(), vec![IfaceId(1)]);
+        r.add_route("10.1.0.0/16".parse().unwrap(), vec![IfaceId(2)]);
+        let p = pkt_with_ports(Addr::new(10, 1, 2, 3), 1, 2);
+        assert_eq!(r.select_egress(&p), Some(IfaceId(2)));
+        let p = pkt_with_ports(Addr::new(10, 2, 2, 3), 1, 2);
+        assert_eq!(r.select_egress(&p), Some(IfaceId(1)));
+    }
+
+    #[test]
+    fn no_route_returns_none() {
+        let mut r = Router::new(0);
+        r.add_route("10.0.0.0/8".parse().unwrap(), vec![IfaceId(1)]);
+        let p = pkt_with_ports(Addr::new(192, 168, 0, 1), 1, 2);
+        assert_eq!(r.select_egress(&p), None);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_and_is_per_flow_stable() {
+        let mut r = Router::new(3);
+        r.add_route(
+            AddrPrefix::DEFAULT,
+            vec![IfaceId(0), IfaceId(1), IfaceId(2), IfaceId(3)],
+        );
+        let dst = Addr::new(10, 9, 9, 9);
+        let mut seen = std::collections::HashSet::new();
+        for sport in 0..64u16 {
+            let p = pkt_with_ports(dst, 40_000 + sport, 80);
+            let first = r.select_egress(&p).unwrap();
+            // Same flow key always hashes to the same egress.
+            assert_eq!(r.select_egress(&p), Some(first));
+            seen.insert(first);
+        }
+        assert_eq!(seen.len(), 4, "64 flows should cover all 4 paths");
+    }
+
+    #[test]
+    fn different_salt_different_mapping() {
+        let mk = |salt| {
+            let mut r = Router::new(salt);
+            r.add_route(
+                AddrPrefix::DEFAULT,
+                vec![IfaceId(0), IfaceId(1), IfaceId(2), IfaceId(3)],
+            );
+            r
+        };
+        let r1 = mk(1);
+        let r2 = mk(2);
+        let dst = Addr::new(10, 9, 9, 9);
+        let mapping =
+            |r: &Router| -> Vec<_> {
+                (0..32u16)
+                    .map(|s| r.select_egress(&pkt_with_ports(dst, 40_000 + s, 80)).unwrap())
+                    .collect()
+            };
+        assert_ne!(mapping(&r1), mapping(&r2));
+    }
+}

@@ -1,0 +1,791 @@
+//! The simulation world: event queue, links, interfaces, and the run loop.
+//!
+//! [`Simulator`] owns every [`Node`] plus a [`SimCore`] holding everything
+//! else (clock, event queue, RNG, links, interfaces, trace sink). Node
+//! callbacks receive a [`Ctx`] — a view over the core scoped to that node —
+//! through which they send packets and arm timers. This split keeps borrows
+//! disjoint without interior mutability and keeps the whole simulation
+//! single-threaded and deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use crate::addr::Addr;
+use crate::link::{Dir, DropReason, LinkCfg, LinkDirState, LinkDirStats, LinkId, LossModel};
+use crate::node::{Iface, IfaceId, Node, NodeId};
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::{tx_time, SimTime};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
+
+/// Internal events the simulator processes.
+#[derive(Debug)]
+enum SimEvent {
+    /// Deliver `on_start` to a node.
+    Start(NodeId),
+    /// A node timer fired.
+    Timer { node: NodeId, token: u64 },
+    /// A packet finished serializing on a link direction.
+    TxDone { link: LinkId, dir: Dir, pkt: Packet },
+    /// A packet finished propagating and arrives at the far end.
+    Deliver { link: LinkId, dir: Dir, pkt: Packet },
+    /// Administrative interface state change.
+    IfaceAdmin { iface: IfaceId, up: bool },
+    /// Run a registered script hook.
+    Script(usize),
+}
+
+/// An entry in the event queue. Ties are broken by insertion order so the
+/// simulation is fully deterministic.
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: SimEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One link: two interfaces and two directional states.
+#[derive(Debug)]
+struct LinkState {
+    /// Interface at the A end.
+    a: IfaceId,
+    /// Interface at the B end.
+    b: IfaceId,
+    /// `dirs[0]` carries A→B traffic, `dirs[1]` B→A.
+    dirs: [LinkDirState; 2],
+}
+
+impl LinkState {
+    fn dir_mut(&mut self, dir: Dir) -> &mut LinkDirState {
+        match dir {
+            Dir::AtoB => &mut self.dirs[0],
+            Dir::BtoA => &mut self.dirs[1],
+        }
+    }
+    fn dir_ref(&self, dir: Dir) -> &LinkDirState {
+        match dir {
+            Dir::AtoB => &self.dirs[0],
+            Dir::BtoA => &self.dirs[1],
+        }
+    }
+    /// Receiving interface for traffic flowing in `dir`.
+    fn sink_iface(&self, dir: Dir) -> IfaceId {
+        match dir {
+            Dir::AtoB => self.b,
+            Dir::BtoA => self.a,
+        }
+    }
+}
+
+/// Why [`Simulator::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained.
+    Idle,
+    /// The configured time horizon was reached.
+    Horizon,
+    /// A node or script called [`Ctx::stop`] / [`SimCore::request_stop`].
+    Requested,
+    /// The safety event limit was hit (almost certainly a bug).
+    EventLimit,
+}
+
+/// Summary returned by [`Simulator::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunSummary {
+    /// Why the run ended.
+    pub reason: StopReason,
+    /// Simulated time at the end of the run.
+    pub ended_at: SimTime,
+    /// Number of events processed.
+    pub events: u64,
+}
+
+/// Everything in the simulation except the nodes.
+pub struct SimCore {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    rng: SimRng,
+    links: Vec<LinkState>,
+    ifaces: Vec<Iface>,
+    trace: Option<Box<dyn TraceSink>>,
+    stop_requested: bool,
+    /// Hard cap on processed events; a safety net against runaway loops.
+    pub event_limit: u64,
+}
+
+impl SimCore {
+    fn new(seed: u64) -> Self {
+        SimCore {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            rng: SimRng::seed_from_u64(seed),
+            links: Vec::new(),
+            ifaces: Vec::new(),
+            trace: None,
+            stop_requested: false,
+            event_limit: 500_000_000,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Ask the run loop to stop after the current event.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Install (or replace) the trace sink. Returns the previous one.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.trace.replace(sink)
+    }
+
+    /// Remove and return the trace sink (typically after a run, to read
+    /// collected data back out).
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Interface metadata.
+    pub fn iface(&self, id: IfaceId) -> &Iface {
+        &self.ifaces[id.0]
+    }
+
+    /// All interfaces belonging to `node`, in creation order.
+    pub fn ifaces_of(&self, node: NodeId) -> impl Iterator<Item = (IfaceId, &Iface)> {
+        self.ifaces
+            .iter()
+            .enumerate()
+            .filter(move |(_, i)| i.node == node)
+            .map(|(n, i)| (IfaceId(n), i))
+    }
+
+    /// Find the interface of `node` carrying address `addr`.
+    pub fn iface_by_addr(&self, node: NodeId, addr: Addr) -> Option<IfaceId> {
+        self.ifaces_of(node)
+            .find(|(_, i)| i.addr == addr)
+            .map(|(id, _)| id)
+    }
+
+    /// Counters for one direction of a link.
+    pub fn link_stats(&self, link: LinkId, dir: Dir) -> &LinkDirStats {
+        &self.links[link.0].dir_ref(dir).stats
+    }
+
+    /// Replace the loss model of one direction of a link, effective
+    /// immediately.
+    pub fn set_loss(&mut self, link: LinkId, dir: Dir, loss: LossModel) {
+        self.links[link.0].dir_mut(dir).cfg.loss = loss;
+    }
+
+    /// Replace the loss model of both directions of a link.
+    pub fn set_loss_both(&mut self, link: LinkId, loss: LossModel) {
+        self.set_loss(link, Dir::AtoB, loss.clone());
+        self.set_loss(link, Dir::BtoA, loss);
+    }
+
+    /// Schedule an administrative up/down change for an interface.
+    pub fn schedule_iface_admin(&mut self, at: SimTime, iface: IfaceId, up: bool) {
+        self.push(at, SimEvent::IfaceAdmin { iface, up });
+    }
+
+    fn push(&mut self, at: SimTime, ev: SimEvent) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, ev }));
+    }
+
+    fn trace_event(&mut self, kind: TraceKind, pkt: &Packet) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(&TraceEvent {
+                at: self.now,
+                kind,
+                pkt,
+            });
+        }
+    }
+
+    /// Send `pkt` out of `iface`. Shared by `Ctx::send` and script hooks.
+    /// Silently drops (with a trace record) when the interface is down or
+    /// unplugged — matching a NIC with no carrier.
+    pub fn send_from(&mut self, iface_id: IfaceId, pkt: Packet) {
+        let iface = &self.ifaces[iface_id.0];
+        let node = iface.node;
+        if !iface.up {
+            self.trace_event(
+                TraceKind::Drop {
+                    link: None,
+                    reason: DropReason::IfaceDown,
+                },
+                &pkt,
+            );
+            return;
+        }
+        let Some((link_id, dir)) = iface.link else {
+            self.trace_event(
+                TraceKind::Drop {
+                    link: None,
+                    reason: DropReason::NoRoute,
+                },
+                &pkt,
+            );
+            return;
+        };
+        self.trace_event(
+            TraceKind::Send {
+                node,
+                iface: iface_id,
+            },
+            &pkt,
+        );
+        let state = self.links[link_id.0].dir_mut(dir);
+        let was_idle = !state.busy;
+        if state.enqueue(pkt.clone()) {
+            self.trace_event(TraceKind::Enqueue { link: link_id, dir }, &pkt);
+            if was_idle {
+                self.start_tx(link_id, dir);
+            }
+        } else {
+            self.trace_event(
+                TraceKind::Drop {
+                    link: Some(link_id),
+                    reason: DropReason::QueueFull,
+                },
+                &pkt,
+            );
+        }
+    }
+
+    /// Begin serializing the next queued packet, if the line is idle.
+    fn start_tx(&mut self, link: LinkId, dir: Dir) {
+        let state = self.links[link.0].dir_mut(dir);
+        if state.busy {
+            return;
+        }
+        let Some(pkt) = state.queue.pop_front() else {
+            return;
+        };
+        state.busy = true;
+        let dt = tx_time(pkt.wire_bits(), state.cfg.rate_bps);
+        self.trace_event(TraceKind::TxStart { link, dir }, &pkt);
+        self.push(self.now + dt, SimEvent::TxDone { link, dir, pkt });
+    }
+}
+
+/// A node-scoped view of the simulation core, handed to node callbacks.
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    node: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// The node this context is scoped to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.core.rng()
+    }
+
+    /// Send a packet out of one of this node's interfaces.
+    ///
+    /// # Panics
+    /// Panics if `iface` does not belong to this node — that is always a
+    /// wiring bug in the scenario.
+    pub fn send(&mut self, iface: IfaceId, pkt: Packet) {
+        assert_eq!(
+            self.core.ifaces[iface.0].node, self.node,
+            "node {:?} tried to send from foreign iface {:?}",
+            self.node, iface
+        );
+        self.core.send_from(iface, pkt);
+    }
+
+    /// Arm a timer that fires `after` from now, delivering `token` to
+    /// [`Node::on_timer`]. Timers are not cancellable; keep a generation
+    /// counter and ignore stale firings.
+    pub fn set_timer_after(&mut self, after: Duration, token: u64) {
+        let at = self.core.now + after;
+        self.core.push(
+            at,
+            SimEvent::Timer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+
+    /// Arm a timer for an absolute instant (must not be in the past).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        self.core.push(
+            at.max(self.core.now),
+            SimEvent::Timer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+
+    /// Metadata for any interface (commonly this node's own).
+    pub fn iface(&self, id: IfaceId) -> &Iface {
+        self.core.iface(id)
+    }
+
+    /// This node's interfaces.
+    pub fn my_ifaces(&self) -> Vec<(IfaceId, Iface)> {
+        self.core
+            .ifaces_of(self.node)
+            .map(|(id, i)| (id, i.clone()))
+            .collect()
+    }
+
+    /// Find this node's interface with the given address.
+    pub fn my_iface_by_addr(&self, addr: Addr) -> Option<IfaceId> {
+        self.core.iface_by_addr(self.node, addr)
+    }
+
+    /// Ask the simulation to stop after the current event.
+    pub fn stop(&mut self) {
+        self.core.request_stop();
+    }
+}
+
+/// Script hook: scheduled scenario actions with access to the core (links,
+/// loss models, interface admin, more scheduling).
+type ScriptFn = Box<dyn FnMut(&mut SimCore)>;
+
+/// The complete simulation.
+pub struct Simulator {
+    /// The shared core (public so scenario code can inspect links/stats
+    /// between runs).
+    pub core: SimCore,
+    nodes: Vec<Box<dyn Node>>,
+    scripts: Vec<ScriptFn>,
+    started: bool,
+}
+
+impl Simulator {
+    /// Create an empty simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            core: SimCore::new(seed),
+            nodes: Vec::new(),
+            scripts: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Add a node; returns its id. Nodes receive `on_start` in id order.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add an interface to `node` with address `addr`. The interface starts
+    /// up but unplugged; connect it with [`Simulator::connect`].
+    pub fn add_iface(&mut self, node: NodeId, addr: Addr, name: impl Into<String>) -> IfaceId {
+        assert!(node.0 < self.nodes.len(), "no such node");
+        let id = IfaceId(self.core.ifaces.len());
+        self.core.ifaces.push(Iface {
+            node,
+            addr,
+            link: None,
+            up: true,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Create a link between two interfaces with symmetric configuration.
+    pub fn connect(&mut self, a: IfaceId, b: IfaceId, cfg: LinkCfg) -> LinkId {
+        self.connect_asym(a, b, cfg.clone(), cfg)
+    }
+
+    /// Create a link with per-direction configuration (`ab` carries A→B).
+    pub fn connect_asym(&mut self, a: IfaceId, b: IfaceId, ab: LinkCfg, ba: LinkCfg) -> LinkId {
+        assert!(
+            self.core.ifaces[a.0].link.is_none() && self.core.ifaces[b.0].link.is_none(),
+            "interface already connected"
+        );
+        let id = LinkId(self.core.links.len());
+        self.core.links.push(LinkState {
+            a,
+            b,
+            dirs: [LinkDirState::new(ab), LinkDirState::new(ba)],
+        });
+        self.core.ifaces[a.0].link = Some((id, Dir::AtoB));
+        self.core.ifaces[b.0].link = Some((id, Dir::BtoA));
+        id
+    }
+
+    /// Register a script hook to run at `at`. The hook receives the core
+    /// and may change loss models, flip interfaces, or schedule more work.
+    pub fn at(&mut self, at: SimTime, hook: impl FnMut(&mut SimCore) + 'static) {
+        let idx = self.scripts.len();
+        self.scripts.push(Box::new(hook));
+        self.core.push(at, SimEvent::Script(idx));
+    }
+
+    /// Immutable access to a node (for downcasting after a run).
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id.0].as_ref()
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id.0].as_mut()
+    }
+
+    /// Run until the queue drains or `horizon` is reached.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunSummary {
+        self.run_inner(Some(horizon))
+    }
+
+    /// Run until the queue drains (or a stop is requested).
+    pub fn run(&mut self) -> RunSummary {
+        self.run_inner(None)
+    }
+
+    fn run_inner(&mut self, horizon: Option<SimTime>) -> RunSummary {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.core.push(SimTime::ZERO, SimEvent::Start(NodeId(i)));
+            }
+        }
+        let mut processed = 0u64;
+        loop {
+            if self.core.stop_requested {
+                return self.finish(StopReason::Requested, processed);
+            }
+            if processed >= self.core.event_limit {
+                return self.finish(StopReason::EventLimit, processed);
+            }
+            let Some(Reverse(head)) = self.core.queue.peek() else {
+                return self.finish(StopReason::Idle, processed);
+            };
+            if let Some(h) = horizon {
+                if head.at > h {
+                    self.core.now = h;
+                    return self.finish(StopReason::Horizon, processed);
+                }
+            }
+            let Reverse(Scheduled { at, ev, .. }) = self.core.queue.pop().unwrap();
+            debug_assert!(at >= self.core.now, "time went backwards");
+            self.core.now = at;
+            processed += 1;
+            self.dispatch(ev);
+        }
+    }
+
+    fn finish(&mut self, reason: StopReason, events: u64) -> RunSummary {
+        RunSummary {
+            reason,
+            ended_at: self.core.now,
+            events,
+        }
+    }
+
+    fn dispatch(&mut self, ev: SimEvent) {
+        match ev {
+            SimEvent::Start(node) => {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node.0].on_start(&mut ctx);
+            }
+            SimEvent::Timer { node, token } => {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node.0].on_timer(&mut ctx, token);
+            }
+            SimEvent::TxDone { link, dir, pkt } => {
+                // Serializer is free again; decide the packet's fate.
+                self.core.links[link.0].dir_mut(dir).busy = false;
+                let now = self.core.now;
+                let (p, delay) = {
+                    let st = self.core.links[link.0].dir_ref(dir);
+                    (st.cfg.loss.ratio_at(now), st.cfg.delay)
+                };
+                let lost = p > 0.0 && self.core.rng.chance(p);
+                if lost {
+                    self.core.links[link.0].dir_mut(dir).stats.dropped_random += 1;
+                    self.core.trace_event(
+                        TraceKind::Drop {
+                            link: Some(link),
+                            reason: DropReason::Random,
+                        },
+                        &pkt,
+                    );
+                } else {
+                    self.core
+                        .push(now + delay, SimEvent::Deliver { link, dir, pkt });
+                }
+                self.core.start_tx(link, dir);
+            }
+            SimEvent::Deliver { link, dir, pkt } => {
+                let iface_id = self.core.links[link.0].sink_iface(dir);
+                let iface = &self.core.ifaces[iface_id.0];
+                let node = iface.node;
+                if !iface.up {
+                    self.core.trace_event(
+                        TraceKind::Drop {
+                            link: Some(link),
+                            reason: DropReason::IfaceDown,
+                        },
+                        &pkt,
+                    );
+                    return;
+                }
+                {
+                    let st = self.core.links[link.0].dir_mut(dir);
+                    st.stats.delivered += 1;
+                    st.stats.bytes_delivered += pkt.wire_len() as u64;
+                }
+                self.core.trace_event(
+                    TraceKind::Deliver {
+                        link,
+                        iface: iface_id,
+                        node,
+                    },
+                    &pkt,
+                );
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node.0].on_packet(&mut ctx, iface_id, pkt);
+            }
+            SimEvent::IfaceAdmin { iface, up } => {
+                let node = self.core.ifaces[iface.0].node;
+                self.core.ifaces[iface.0].up = up;
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node.0].on_iface_admin(&mut ctx, iface, up);
+            }
+            SimEvent::Script(idx) => {
+                (self.scripts[idx])(&mut self.core);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use bytes::Bytes;
+    use std::any::Any;
+
+    /// Echoes every packet back out the interface it arrived on, and counts.
+    struct Echo {
+        seen: usize,
+    }
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+            self.seen += 1;
+            if self.seen < 3 {
+                let back = Packet::tcp(pkt.dst, pkt.src, pkt.payload.clone());
+                ctx.send(iface, back);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends one packet at start, counts echoes.
+    struct Pinger {
+        iface: Option<IfaceId>,
+        peer: Addr,
+        got: usize,
+        timer_fired: Vec<u64>,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let (id, iface) = ctx.my_ifaces().into_iter().next().unwrap();
+            self.iface = Some(id);
+            let pkt = Packet::tcp(iface.addr, self.peer, Bytes::from_static(&[0, 1, 0, 2]));
+            ctx.send(id, pkt);
+            ctx.set_timer_after(Duration::from_millis(500), 7);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+            self.got += 1;
+            let back = Packet::tcp(pkt.dst, pkt.src, pkt.payload.clone());
+            ctx.send(iface, back);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+            self.timer_fired.push(token);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_hosts(seed: u64, cfg: LinkCfg) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
+        let a = sim.add_node(Box::new(Pinger {
+            iface: None,
+            peer: Addr::new(10, 0, 0, 2),
+            got: 0,
+            timer_fired: vec![],
+        }));
+        let b = sim.add_node(Box::new(Echo { seen: 0 }));
+        let ia = sim.add_iface(a, Addr::new(10, 0, 0, 1), "eth0");
+        let ib = sim.add_iface(b, Addr::new(10, 0, 0, 2), "eth0");
+        sim.connect(ia, ib, cfg);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let (mut sim, a, b) = two_hosts(1, LinkCfg::mbps_ms(10, 5));
+        let summary = sim.run();
+        assert_eq!(summary.reason, StopReason::Idle);
+        let echo = sim.node(b).as_any().downcast_ref::<Echo>().unwrap();
+        let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+        // Echo replies twice (seen 1,2 reply; 3rd stops), pinger bounces each.
+        assert_eq!(echo.seen, 3);
+        assert_eq!(ping.got, 2);
+        assert_eq!(ping.timer_fired, vec![7]);
+    }
+
+    #[test]
+    fn delivery_takes_delay_plus_serialization() {
+        let (mut sim, _a, _b) = two_hosts(1, LinkCfg::mbps_ms(1, 10));
+        // Packet: 20B IP + 4B payload = 24B = 192 bits at 1 Mb/s = 192 us.
+        // One-way = 192us + 10ms.
+        let summary = sim.run_until(SimTime::from_secs(10));
+        // Last event: echo's third receipt (no reply): 3 one-way trips.
+        // Ping at 0 -> deliver t1 = 10.192ms; reply -> 20.384; reply -> 30.576.
+        assert!(summary.ended_at >= SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn full_loss_blocks_delivery() {
+        let (mut sim, a, _b) = two_hosts(
+            2,
+            LinkCfg::mbps_ms(10, 5).loss(LossModel::Bernoulli(1.0)),
+        );
+        sim.run();
+        let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+        assert_eq!(ping.got, 0);
+    }
+
+    #[test]
+    fn iface_down_drops_delivery() {
+        let (mut sim, a, _b) = two_hosts(3, LinkCfg::mbps_ms(10, 5));
+        // Take B's interface down immediately; A's ping must vanish.
+        sim.core
+            .schedule_iface_admin(SimTime::ZERO, IfaceId(1), false);
+        sim.run();
+        let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+        assert_eq!(ping.got, 0);
+    }
+
+    #[test]
+    fn scripts_run_and_can_change_loss() {
+        let (mut sim, _a, _b) = two_hosts(4, LinkCfg::mbps_ms(10, 5));
+        sim.at(SimTime::from_millis(1), |core| {
+            core.set_loss_both(LinkId(0), LossModel::Bernoulli(1.0));
+        });
+        let summary = sim.run();
+        assert_eq!(summary.reason, StopReason::Idle);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trajectory() {
+        let run = |seed| {
+            let (mut sim, a, _b) = two_hosts(
+                seed,
+                LinkCfg::mbps_ms(10, 5).loss(LossModel::Bernoulli(0.5)),
+            );
+            let s = sim.run();
+            let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+            (s.events, ping.got)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let (mut sim, _a, _b) = two_hosts(5, LinkCfg::mbps_ms(1, 500));
+        let s = sim.run_until(SimTime::from_millis(1));
+        assert_eq!(s.reason, StopReason::Horizon);
+        assert_eq!(s.ended_at, SimTime::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign iface")]
+    fn sending_from_foreign_iface_panics() {
+        struct Bad;
+        impl Node for Bad {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // Interface 0 belongs to someone else.
+                ctx.send(
+                    IfaceId(0),
+                    Packet::tcp(Addr::UNSPECIFIED, Addr::UNSPECIFIED, Bytes::new()),
+                );
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let other = sim.add_node(Box::new(Echo { seen: 0 }));
+        let _iface_of_other = sim.add_iface(other, Addr::new(1, 1, 1, 1), "eth0");
+        sim.add_node(Box::new(Bad));
+        sim.run();
+    }
+}

@@ -1,0 +1,458 @@
+//! Stream buffers: the send buffer and the out-of-order reassembly queue.
+//!
+//! Both work in flat 64-bit stream offsets (bytes since the start of the
+//! stream). They are used at two levels: per subflow (subflow sequence
+//! space) and once per connection (MPTCP data-sequence space).
+
+use std::collections::BTreeMap;
+
+use bytes::{Bytes, BytesMut};
+
+/// A bounded byte-stream send buffer.
+///
+/// Holds data the application has written but the receiver has not yet
+/// acknowledged. Data is retained until released so any range can be
+/// (re)transmitted, including reinjection on another subflow.
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    /// Stream offset of the first byte in `chunks`.
+    head: u64,
+    chunks: Vec<Bytes>,
+    /// Total buffered bytes.
+    len: u64,
+    /// Capacity in bytes; `write` accepts at most the free space.
+    cap: u64,
+}
+
+impl SendBuffer {
+    /// A buffer with the given capacity in bytes.
+    pub fn with_capacity(cap: u64) -> Self {
+        SendBuffer {
+            head: 0,
+            chunks: Vec::new(),
+            len: 0,
+            cap,
+        }
+    }
+
+    /// Offset of the first retained (unacknowledged) byte.
+    pub fn head_offset(&self) -> u64 {
+        self.head
+    }
+
+    /// Offset one past the last buffered byte — where the next write lands.
+    pub fn tail_offset(&self) -> u64 {
+        self.head + self.len
+    }
+
+    /// Buffered bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free space in bytes.
+    pub fn free(&self) -> u64 {
+        self.cap - self.len
+    }
+
+    /// Append as much of `data` as fits; returns the number of bytes
+    /// accepted (an application would retry the rest when space frees up).
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        let take = (self.free().min(data.len() as u64)) as usize;
+        if take > 0 {
+            self.chunks.push(Bytes::copy_from_slice(&data[..take]));
+            self.len += take as u64;
+        }
+        take
+    }
+
+    /// Copy out the range `[off, off+len)`. The range must be entirely
+    /// inside the buffer.
+    ///
+    /// # Panics
+    /// Panics when the range is outside `[head_offset, tail_offset)` —
+    /// callers derive ranges from the same bookkeeping, so a violation is
+    /// an engine bug.
+    pub fn slice(&self, off: u64, len: u32) -> Bytes {
+        assert!(
+            off >= self.head && off + len as u64 <= self.tail_offset(),
+            "slice [{off}, {}) outside buffered [{}, {})",
+            off + len as u64,
+            self.head,
+            self.tail_offset()
+        );
+        let mut out = BytesMut::with_capacity(len as usize);
+        let mut pos = self.head;
+        let mut want_from = off;
+        let want_end = off + len as u64;
+        for chunk in &self.chunks {
+            let chunk_end = pos + chunk.len() as u64;
+            if chunk_end > want_from && pos < want_end {
+                let start = (want_from - pos) as usize;
+                let end = (want_end.min(chunk_end) - pos) as usize;
+                out.extend_from_slice(&chunk[start..end]);
+                want_from = chunk_end.min(want_end);
+            }
+            pos = chunk_end;
+            if pos >= want_end {
+                break;
+            }
+        }
+        debug_assert_eq!(out.len(), len as usize);
+        out.freeze()
+    }
+
+    /// Release all bytes below `upto` (they were cumulatively acknowledged).
+    /// Offsets at or below the current head are ignored.
+    pub fn release_until(&mut self, upto: u64) {
+        while self.head < upto {
+            let Some(first) = self.chunks.first_mut() else {
+                break;
+            };
+            let flen = first.len() as u64;
+            if self.head + flen <= upto {
+                self.head += flen;
+                self.len -= flen;
+                self.chunks.remove(0);
+            } else {
+                let cut = (upto - self.head) as usize;
+                *first = first.slice(cut..);
+                self.head += cut as u64;
+                self.len -= cut as u64;
+            }
+        }
+    }
+}
+
+/// Out-of-order reassembly queue for one direction of a stream.
+///
+/// Segments arrive keyed by stream offset, possibly duplicated, overlapping
+/// or out of order; [`Reassembly::pop_ready`] yields the in-order byte
+/// stream exactly once.
+#[derive(Debug, Default)]
+pub struct Reassembly {
+    /// Next offset the consumer expects.
+    next: u64,
+    /// Pending out-of-order segments, keyed by start offset. Invariant:
+    /// entries are disjoint and all end after `next`.
+    segs: BTreeMap<u64, Bytes>,
+    /// Bytes currently buffered out of order.
+    buffered: u64,
+}
+
+impl Reassembly {
+    /// A reassembly queue expecting offset 0 first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A queue expecting `next` as the first offset (e.g. after a handshake
+    /// consumed one sequence number).
+    pub fn starting_at(next: u64) -> Self {
+        Reassembly {
+            next,
+            segs: BTreeMap::new(),
+            buffered: 0,
+        }
+    }
+
+    /// The next in-order offset the consumer is waiting for.
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+
+    /// Bytes held in out-of-order segments.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered
+    }
+
+    /// True when out-of-order data is pending (a hole exists).
+    pub fn has_hole(&self) -> bool {
+        !self.segs.is_empty()
+    }
+
+    /// Offer a segment at `off`. Duplicate and overlapping bytes are
+    /// discarded; new bytes are retained.
+    pub fn insert(&mut self, off: u64, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        let mut off = off;
+        let mut data = data;
+        // Trim anything already consumed.
+        if off < self.next {
+            let skip = self.next - off;
+            if skip >= data.len() as u64 {
+                return;
+            }
+            data = data.slice(skip as usize..);
+            off = self.next;
+        }
+        // Trim against the predecessor segment.
+        if let Some((&p_off, p_data)) = self.segs.range(..=off).next_back() {
+            let p_end = p_off + p_data.len() as u64;
+            if p_end > off {
+                let skip = p_end - off;
+                if skip >= data.len() as u64 {
+                    return;
+                }
+                data = data.slice(skip as usize..);
+                off = p_end;
+            }
+        }
+        // Swallow or trim successor segments that we now cover.
+        let end = off + data.len() as u64;
+        while let Some((&s_off, s_data)) = self.segs.range(off..).next() {
+            if s_off >= end {
+                break;
+            }
+            let s_len = s_data.len() as u64;
+            let s_end = s_off + s_len;
+            if s_end <= end {
+                // Fully covered: drop it.
+                self.segs.remove(&s_off);
+                self.buffered -= s_len;
+            } else {
+                // Partially covered: keep its tail.
+                let tail = s_data.slice((end - s_off) as usize..);
+                self.segs.remove(&s_off);
+                self.buffered -= s_len;
+                self.buffered += tail.len() as u64;
+                self.segs.insert(end, tail);
+                break;
+            }
+        }
+        self.buffered += data.len() as u64;
+        self.segs.insert(off, data);
+    }
+
+    /// Remove and return the longest in-order prefix now available.
+    pub fn pop_ready(&mut self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Some((&off, _)) = self.segs.first_key_value() {
+            if off != self.next {
+                break;
+            }
+            let (_, data) = self.segs.pop_first().unwrap();
+            self.next += data.len() as u64;
+            self.buffered -= data.len() as u64;
+            out.push(data);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    #[test]
+    fn send_buffer_write_and_cap() {
+        let mut sb = SendBuffer::with_capacity(10);
+        assert_eq!(sb.write(b"hello"), 5);
+        assert_eq!(sb.write(b"world!!"), 5); // only 5 fit
+        assert_eq!(sb.len(), 10);
+        assert_eq!(sb.free(), 0);
+        assert_eq!(sb.write(b"x"), 0);
+    }
+
+    #[test]
+    fn send_buffer_slice_spans_chunks() {
+        let mut sb = SendBuffer::with_capacity(100);
+        sb.write(b"hello");
+        sb.write(b" ");
+        sb.write(b"world");
+        assert_eq!(&sb.slice(0, 11)[..], b"hello world");
+        assert_eq!(&sb.slice(3, 5)[..], b"lo wo");
+        assert_eq!(&sb.slice(6, 5)[..], b"world");
+    }
+
+    #[test]
+    fn send_buffer_release_partial_chunk() {
+        let mut sb = SendBuffer::with_capacity(100);
+        sb.write(b"abcdef");
+        sb.release_until(2);
+        assert_eq!(sb.head_offset(), 2);
+        assert_eq!(&sb.slice(2, 4)[..], b"cdef");
+        sb.release_until(6);
+        assert!(sb.is_empty());
+        assert_eq!(sb.tail_offset(), 6);
+        // Stale release is a no-op.
+        sb.release_until(3);
+        assert_eq!(sb.head_offset(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside buffered")]
+    fn send_buffer_slice_released_panics() {
+        let mut sb = SendBuffer::with_capacity(100);
+        sb.write(b"abcdef");
+        sb.release_until(3);
+        sb.slice(0, 2);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let mut r = Reassembly::new();
+        r.insert(0, b(b"ab"));
+        r.insert(2, b(b"cd"));
+        let got: Vec<u8> = r.pop_ready().concat();
+        assert_eq!(got, b"abcd");
+        assert_eq!(r.next_expected(), 4);
+        assert!(!r.has_hole());
+    }
+
+    #[test]
+    fn reassembly_out_of_order_hole_fill() {
+        let mut r = Reassembly::new();
+        r.insert(2, b(b"cd"));
+        assert!(r.pop_ready().is_empty());
+        assert!(r.has_hole());
+        assert_eq!(r.buffered_bytes(), 2);
+        r.insert(0, b(b"ab"));
+        let got: Vec<u8> = r.pop_ready().concat();
+        assert_eq!(got, b"abcd");
+        assert_eq!(r.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn reassembly_duplicate_discarded() {
+        let mut r = Reassembly::new();
+        r.insert(0, b(b"abcd"));
+        r.pop_ready();
+        r.insert(0, b(b"abcd")); // full duplicate
+        assert!(r.pop_ready().is_empty());
+        assert_eq!(r.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn reassembly_overlap_trims() {
+        let mut r = Reassembly::new();
+        r.insert(0, b(b"abc"));
+        r.insert(2, b(b"cde")); // overlaps one byte
+        let got: Vec<u8> = r.pop_ready().concat();
+        assert_eq!(got, b"abcde");
+    }
+
+    #[test]
+    fn reassembly_covering_insert_swallows() {
+        let mut r = Reassembly::new();
+        r.insert(2, b(b"c"));
+        r.insert(5, b(b"fg"));
+        r.insert(0, b(b"abcdefgh")); // covers both
+        let got: Vec<u8> = r.pop_ready().concat();
+        assert_eq!(got, b"abcdefgh");
+        assert_eq!(r.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn reassembly_partial_cover_keeps_tail() {
+        let mut r = Reassembly::new();
+        r.insert(3, b(b"defg"));
+        r.insert(0, b(b"abcd")); // covers "d", keeps "efg"
+        let got: Vec<u8> = r.pop_ready().concat();
+        assert_eq!(got, b"abcdefg");
+    }
+
+    #[test]
+    fn reassembly_starting_offset() {
+        let mut r = Reassembly::starting_at(100);
+        r.insert(50, b(b"old")); // entirely stale
+        assert!(r.pop_ready().is_empty());
+        r.insert(98, b(b"xxab")); // first two stale
+        let got: Vec<u8> = r.pop_ready().concat();
+        assert_eq!(got, b"ab");
+        assert_eq!(r.next_expected(), 102);
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever order segments arrive in — duplicated, overlapping,
+        /// fragmented — the reassembled stream equals the original.
+        #[test]
+        fn reassembly_reconstructs_stream(
+            stream in proptest::collection::vec(any::<u8>(), 1..300),
+            cuts in proptest::collection::vec((0usize..300, 1usize..50), 1..40),
+            order in proptest::collection::vec(any::<usize>(), 1..40),
+        ) {
+            let n = stream.len();
+            // Build segment list covering the stream: first the forced
+            // full cover (so delivery is guaranteed), then noise cuts.
+            let mut segs: Vec<(usize, usize)> = Vec::new();
+            let mut pos = 0;
+            let mut i = 0;
+            while pos < n {
+                let (_, len) = cuts[i % cuts.len()];
+                let end = (pos + len).min(n);
+                segs.push((pos, end));
+                pos = end;
+                i += 1;
+            }
+            // Noise: arbitrary extra (possibly overlapping) slices.
+            for &(start, len) in &cuts {
+                let s = start.min(n.saturating_sub(1));
+                let e = (s + len).min(n);
+                if s < e {
+                    segs.push((s, e));
+                }
+            }
+            // Shuffle deterministically using `order`.
+            let mut shuffled: Vec<(usize, usize)> = Vec::with_capacity(segs.len());
+            let mut remaining = segs;
+            let mut j = 0;
+            while !remaining.is_empty() {
+                let k = order[j % order.len()] % remaining.len();
+                shuffled.push(remaining.swap_remove(k));
+                j += 1;
+            }
+
+            let mut r = Reassembly::new();
+            let mut out: Vec<u8> = Vec::new();
+            for (s, e) in shuffled {
+                r.insert(s as u64, Bytes::copy_from_slice(&stream[s..e]));
+                for chunk in r.pop_ready() {
+                    out.extend_from_slice(&chunk);
+                }
+            }
+            prop_assert_eq!(out, stream);
+            prop_assert_eq!(r.buffered_bytes(), 0);
+        }
+
+        /// Sliced ranges from the send buffer always equal the bytes written.
+        #[test]
+        fn send_buffer_slice_correct(
+            writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..50), 1..10),
+            release_frac in 0.0f64..1.0,
+        ) {
+            let mut sb = SendBuffer::with_capacity(1 << 20);
+            let mut mirror: Vec<u8> = Vec::new();
+            for w in &writes {
+                sb.write(w);
+                mirror.extend_from_slice(w);
+            }
+            let release = (mirror.len() as f64 * release_frac) as u64;
+            sb.release_until(release);
+            let head = sb.head_offset() as usize;
+            let tail = sb.tail_offset() as usize;
+            prop_assert_eq!(head, release as usize);
+            if tail > head {
+                let got = sb.slice(head as u64, (tail - head) as u32);
+                prop_assert_eq!(&got[..], &mirror[head..tail]);
+            }
+        }
+    }
+}

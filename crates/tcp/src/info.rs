@@ -1,0 +1,112 @@
+//! `TcpInfo` — the per-subflow state snapshot.
+//!
+//! The paper's subflow controller "can also retrieve information from the
+//! control block of the Multipath TCP connection or one of the subflows. In
+//! practice, this is equivalent to the utilisation of the `TCP_INFO` socket
+//! option on Linux." This struct is that snapshot: the smart-streaming
+//! controller reads `snd_una`, the refresh controller reads `pacing_rate`,
+//! and the backup controller reads `rto`/`backoffs`.
+
+use std::time::Duration;
+
+/// Connection/subflow state visible through the get-info command.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TcpInfo {
+    /// Protocol state, Linux `tcpi_state` style.
+    pub state: TcpStateInfo,
+    /// Smoothed RTT in microseconds (0 if unsampled).
+    pub srtt_us: u64,
+    /// RTT variance in microseconds.
+    pub rttvar_us: u64,
+    /// Current retransmission timeout in microseconds (with backoff).
+    pub rto_us: u64,
+    /// Consecutive RTO backoffs since the last ACK progress.
+    pub backoffs: u32,
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Slow-start threshold, bytes.
+    pub ssthresh: u64,
+    /// Current pacing rate, bytes/second (0 if no RTT sample yet).
+    pub pacing_rate: u64,
+    /// First unacknowledged stream offset (bytes from stream start).
+    pub snd_una: u64,
+    /// Next stream offset to be sent.
+    pub snd_nxt: u64,
+    /// Bytes currently in flight.
+    pub in_flight: u64,
+    /// Total bytes acknowledged over the lifetime.
+    pub bytes_acked: u64,
+    /// Total segments retransmitted over the lifetime.
+    pub retrans: u64,
+    /// True if the subflow carries the MPTCP backup flag.
+    pub backup: bool,
+}
+
+impl TcpInfo {
+    /// Smoothed RTT as a [`Duration`], `None` when unsampled.
+    pub fn srtt(&self) -> Option<Duration> {
+        (self.srtt_us > 0).then(|| Duration::from_micros(self.srtt_us))
+    }
+
+    /// Current RTO as a [`Duration`].
+    pub fn rto(&self) -> Duration {
+        Duration::from_micros(self.rto_us)
+    }
+}
+
+/// Coarse protocol states exposed in [`TcpInfo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TcpStateInfo {
+    /// Connection attempt in progress (SYN sent).
+    #[default]
+    SynSent,
+    /// SYN received, handshake not complete.
+    SynReceived,
+    /// Established, transferring data.
+    Established,
+    /// FIN exchange in progress.
+    Closing,
+    /// Fully closed.
+    Closed,
+}
+
+impl std::fmt::Display for TcpStateInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TcpStateInfo::SynSent => "SYN_SENT",
+            TcpStateInfo::SynReceived => "SYN_RECV",
+            TcpStateInfo::Established => "ESTABLISHED",
+            TcpStateInfo::Closing => "CLOSING",
+            TcpStateInfo::Closed => "CLOSED",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srtt_accessor() {
+        let mut i = TcpInfo::default();
+        assert_eq!(i.srtt(), None);
+        i.srtt_us = 25_000;
+        assert_eq!(i.srtt(), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn rto_accessor() {
+        let i = TcpInfo {
+            rto_us: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(i.rto(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(TcpStateInfo::Established.to_string(), "ESTABLISHED");
+        assert_eq!(TcpStateInfo::default().to_string(), "SYN_SENT");
+    }
+}

@@ -1,0 +1,73 @@
+//! Pacing-rate computation, Linux style.
+//!
+//! Linux computes `sk_pacing_rate ≈ factor * cwnd * mss / srtt` with a
+//! factor of 2 during slow start (to fill the pipe quickly) and 1.2 in
+//! congestion avoidance. The SMAPP §4.4 "refresh" controller polls exactly
+//! this value every 2.5 s to find the slowest of its subflows, so the
+//! semantics here matter: the rate reflects what the flow *could* push,
+//! which converges to the fair share of its current path.
+
+use std::time::Duration;
+
+/// Pacing factor applied during slow start (Linux: 200%).
+pub const SS_FACTOR_PCT: u64 = 200;
+/// Pacing factor applied in congestion avoidance (Linux: 120%).
+pub const CA_FACTOR_PCT: u64 = 120;
+
+/// Compute the pacing rate in bytes per second.
+///
+/// Returns `None` when no RTT estimate exists yet (Linux reports the
+/// initial rate based on the default RTT; we expose the absence and let
+/// `TcpInfo` report 0 — a subflow that has never measured an RTT has never
+/// carried traffic, which the refresh controller treats as slowest).
+pub fn pacing_rate(cwnd_bytes: u64, srtt: Option<Duration>, in_slow_start: bool) -> Option<u64> {
+    let srtt = srtt?;
+    let srtt_ns = srtt.as_nanos().max(1) as u64;
+    let factor = if in_slow_start {
+        SS_FACTOR_PCT
+    } else {
+        CA_FACTOR_PCT
+    };
+    // rate = factor% * cwnd / srtt  (bytes per second)
+    Some(
+        (cwnd_bytes as u128 * factor as u128 * 1_000_000_000u128
+            / (100u128 * srtt_ns as u128)) as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_without_rtt() {
+        assert_eq!(pacing_rate(14_000, None, true), None);
+    }
+
+    #[test]
+    fn ca_rate_is_cwnd_over_rtt_times_1_2() {
+        // cwnd 100 KB, srtt 100 ms -> base rate 1 MB/s -> *1.2.
+        let r = pacing_rate(100_000, Some(Duration::from_millis(100)), false).unwrap();
+        assert_eq!(r, 1_200_000);
+    }
+
+    #[test]
+    fn ss_rate_doubles() {
+        let r = pacing_rate(100_000, Some(Duration::from_millis(100)), true).unwrap();
+        assert_eq!(r, 2_000_000);
+    }
+
+    #[test]
+    fn faster_path_higher_rate() {
+        let slow = pacing_rate(50_000, Some(Duration::from_millis(80)), false).unwrap();
+        let fast = pacing_rate(50_000, Some(Duration::from_millis(20)), false).unwrap();
+        assert!(fast > slow);
+        assert_eq!(fast, slow * 4);
+    }
+
+    #[test]
+    fn tiny_rtt_does_not_div_zero() {
+        let r = pacing_rate(1500, Some(Duration::ZERO), false);
+        assert!(r.is_some());
+    }
+}

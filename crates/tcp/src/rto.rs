@@ -1,0 +1,203 @@
+//! Retransmission-timeout policy and exponential backoff.
+//!
+//! The SMAPP paper leans heavily on Linux RTO behaviour: §4.2 observes that
+//! a lossy-but-alive path takes "15 doublings" of the retransmission timer
+//! (about 12 minutes) before the kernel finally kills the subflow, and the
+//! smart-backup controller's whole point is to watch `timeout` events and
+//! act long before that. This module reproduces those dynamics:
+//!
+//! * base RTO from the RTT estimator, clamped to `[min_rto, max_rto]`
+//!   (Linux: 200 ms / 120 s);
+//! * initial RTO of 1 s before any RTT sample (RFC 6298 §2.1);
+//! * doubling on each expiry, capped at `max_rto`;
+//! * give-up after `max_retries` consecutive expiries (Linux
+//!   `tcp_retries2` ≈ 15), after which the subflow is aborted with
+//!   `ETIMEDOUT`.
+
+use std::time::Duration;
+
+use crate::rtt::RttEstimator;
+
+/// Tunable RTO policy. Defaults mirror Linux.
+#[derive(Clone, Debug)]
+pub struct RtoPolicy {
+    /// Lower clamp for the computed RTO (Linux `TCP_RTO_MIN` = 200 ms).
+    pub min_rto: Duration,
+    /// Upper clamp (Linux `TCP_RTO_MAX` = 120 s).
+    pub max_rto: Duration,
+    /// RTO before any RTT sample exists (RFC 6298: 1 s).
+    pub initial_rto: Duration,
+    /// Consecutive expiries tolerated before the connection/subflow is
+    /// aborted (the paper's "15 doublings").
+    pub max_retries: u32,
+}
+
+impl Default for RtoPolicy {
+    fn default() -> Self {
+        RtoPolicy {
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(120),
+            initial_rto: Duration::from_secs(1),
+            max_retries: 15,
+        }
+    }
+}
+
+/// Per-connection (per-subflow) RTO state.
+#[derive(Clone, Debug)]
+pub struct RtoState {
+    policy: RtoPolicy,
+    /// Consecutive expiries since the last successful ACK.
+    backoffs: u32,
+}
+
+impl RtoState {
+    /// Fresh state under the given policy.
+    pub fn new(policy: RtoPolicy) -> Self {
+        RtoState {
+            policy,
+            backoffs: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RtoPolicy {
+        &self.policy
+    }
+
+    /// Number of consecutive backoffs so far.
+    pub fn backoffs(&self) -> u32 {
+        self.backoffs
+    }
+
+    /// The RTO that should be armed *now*, given the estimator state and
+    /// the current backoff count: `clamp(base) << backoffs`, capped at
+    /// `max_rto`.
+    pub fn current_rto(&self, rtt: &RttEstimator) -> Duration {
+        let base = rtt
+            .rto_base()
+            .unwrap_or(self.policy.initial_rto)
+            .clamp(self.policy.min_rto, self.policy.max_rto);
+        let factor = 1u32 << self.backoffs.min(30);
+        base.saturating_mul(factor).min(self.policy.max_rto)
+    }
+
+    /// Record an expiry. Returns the new backoff count.
+    pub fn on_expiry(&mut self) -> u32 {
+        self.backoffs = self.backoffs.saturating_add(1);
+        self.backoffs
+    }
+
+    /// An ACK of new data arrived: the network is alive, reset backoff.
+    pub fn on_ack_progress(&mut self) {
+        self.backoffs = 0;
+    }
+
+    /// Should the connection give up (abort with `ETIMEDOUT`)?
+    pub fn exhausted(&self) -> bool {
+        self.backoffs >= self.policy.max_retries
+    }
+
+    /// Total time a sender would spend from first expiry to giving up, if
+    /// every retransmission is lost. Used by tests and the §4.2 baseline
+    /// bench to show the ~12-minute figure from the paper.
+    pub fn worst_case_give_up_time(&self, rtt: &RttEstimator) -> Duration {
+        let mut total = Duration::ZERO;
+        let mut probe = RtoState::new(self.policy.clone());
+        for _ in 0..self.policy.max_retries {
+            total += probe.current_rto(rtt);
+            probe.on_expiry();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rtt_with(ms: u64) -> RttEstimator {
+        let mut e = RttEstimator::new();
+        e.on_sample(Duration::from_millis(ms));
+        e
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let s = RtoState::new(RtoPolicy::default());
+        assert_eq!(s.current_rto(&RttEstimator::new()), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn min_clamp_applies() {
+        let s = RtoState::new(RtoPolicy::default());
+        // 10 ms RTT gives base 10+4*5=30 ms -> clamped to 200 ms.
+        assert_eq!(s.current_rto(&rtt_with(10)), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn doubling_and_cap() {
+        let mut s = RtoState::new(RtoPolicy::default());
+        let rtt = rtt_with(10);
+        let mut prev = s.current_rto(&rtt);
+        assert_eq!(prev, Duration::from_millis(200));
+        for _ in 0..10 {
+            s.on_expiry();
+            let cur = s.current_rto(&rtt);
+            assert!(cur == prev * 2 || cur == Duration::from_secs(120));
+            prev = cur;
+        }
+        // 200ms << 10 = 204.8 s -> capped at 120 s.
+        assert_eq!(prev, Duration::from_secs(120));
+    }
+
+    #[test]
+    fn ack_resets_backoff() {
+        let mut s = RtoState::new(RtoPolicy::default());
+        s.on_expiry();
+        s.on_expiry();
+        assert_eq!(s.backoffs(), 2);
+        s.on_ack_progress();
+        assert_eq!(s.backoffs(), 0);
+        assert!(!s.exhausted());
+    }
+
+    #[test]
+    fn exhaustion_after_max_retries() {
+        let mut s = RtoState::new(RtoPolicy {
+            max_retries: 3,
+            ..Default::default()
+        });
+        assert!(!s.exhausted());
+        for _ in 0..3 {
+            s.on_expiry();
+        }
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn paper_twelve_minute_figure() {
+        // With a ~20 ms RTT path (base clamped to 200 ms) and 15 retries,
+        // total time to give up is 0.2+0.4+...+102.4 (10 terms) + 120*5
+        // ≈ 204.6 + 600 ≈ 804.6 s ≈ 13.4 min. The paper reports "after 12
+        // minutes in our experiment" — same order, the exact value depends
+        // on the RTT when loss started. Assert the 10–15 minute band.
+        let s = RtoState::new(RtoPolicy::default());
+        let t = s.worst_case_give_up_time(&rtt_with(20));
+        let mins = t.as_secs_f64() / 60.0;
+        assert!((10.0..15.0).contains(&mins), "gave up after {mins:.1} min");
+    }
+
+    #[test]
+    fn backoff_shift_saturates() {
+        let mut s = RtoState::new(RtoPolicy {
+            max_retries: 100,
+            ..Default::default()
+        });
+        for _ in 0..80 {
+            s.on_expiry();
+        }
+        // Shift amount is clamped; must not panic or overflow.
+        assert_eq!(s.current_rto(&rtt_with(10)), Duration::from_secs(120));
+    }
+}

@@ -1,0 +1,150 @@
+//! Round-trip-time estimation per RFC 6298.
+//!
+//! Maintains the smoothed RTT and RTT variance that feed the retransmission
+//! timeout. Samples taken from retransmitted segments are excluded by the
+//! caller (Karn's algorithm — the flight tracker knows which segments were
+//! retransmitted and never offers them as samples).
+
+use std::time::Duration;
+
+/// Clock granularity `G` from RFC 6298; Linux uses 1 ms timers.
+pub const GRANULARITY: Duration = Duration::from_millis(1);
+
+/// Smoothed RTT state.
+#[derive(Clone, Debug, Default)]
+pub struct RttEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    /// Most recent raw sample (exposed in `TcpInfo`).
+    last_sample: Option<Duration>,
+    /// Minimum RTT ever observed (exposed in `TcpInfo`).
+    min_rtt: Option<Duration>,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one RTT sample (from a segment that was transmitted once).
+    pub fn on_sample(&mut self, r: Duration) {
+        self.samples += 1;
+        self.last_sample = Some(r);
+        self.min_rtt = Some(self.min_rtt.map_or(r, |m| m.min(r)));
+        match self.srtt {
+            None => {
+                // First measurement: SRTT = R, RTTVAR = R/2.
+                self.srtt = Some(r);
+                self.rttvar = r / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                let err = srtt.abs_diff(r);
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some((srtt * 7 + r) / 8);
+            }
+        }
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    /// The RTT variance.
+    pub fn rttvar(&self) -> Duration {
+        self.rttvar
+    }
+
+    /// Most recent raw sample.
+    pub fn last_sample(&self) -> Option<Duration> {
+        self.last_sample
+    }
+
+    /// Minimum observed RTT.
+    pub fn min_rtt(&self) -> Option<Duration> {
+        self.min_rtt
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The base retransmission timeout: `SRTT + max(G, 4*RTTVAR)`, or
+    /// `None` before the first sample (callers fall back to the initial
+    /// RTO of 1 s).
+    pub fn rto_base(&self) -> Option<Duration> {
+        self.srtt.map(|srtt| srtt + GRANULARITY.max(self.rttvar * 4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: fn(u64) -> Duration = Duration::from_millis;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.rto_base(), None);
+        e.on_sample(MS(100));
+        assert_eq!(e.srtt(), Some(MS(100)));
+        assert_eq!(e.rttvar(), MS(50));
+        // RTO = 100 + 4*50 = 300 ms
+        assert_eq!(e.rto_base(), Some(MS(300)));
+    }
+
+    #[test]
+    fn steady_samples_converge() {
+        let mut e = RttEstimator::new();
+        for _ in 0..50 {
+            e.on_sample(MS(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert_eq!(srtt, MS(80));
+        // Variance decays toward zero; RTO approaches SRTT + G.
+        assert!(e.rttvar() < MS(2), "rttvar={:?}", e.rttvar());
+    }
+
+    #[test]
+    fn spike_raises_variance_and_rto() {
+        let mut e = RttEstimator::new();
+        for _ in 0..20 {
+            e.on_sample(MS(50));
+        }
+        let rto_before = e.rto_base().unwrap();
+        e.on_sample(MS(500));
+        let rto_after = e.rto_base().unwrap();
+        assert!(rto_after > rto_before);
+        assert!(rto_after > MS(400), "rto_after={rto_after:?}");
+    }
+
+    #[test]
+    fn min_and_last_tracked() {
+        let mut e = RttEstimator::new();
+        e.on_sample(MS(90));
+        e.on_sample(MS(30));
+        e.on_sample(MS(60));
+        assert_eq!(e.min_rtt(), Some(MS(30)));
+        assert_eq!(e.last_sample(), Some(MS(60)));
+        assert_eq!(e.samples(), 3);
+    }
+
+    #[test]
+    fn rfc6298_worked_example() {
+        // Hand-computed EWMA check.
+        let mut e = RttEstimator::new();
+        e.on_sample(MS(100)); // srtt=100, var=50
+        e.on_sample(MS(200));
+        // var = 3/4*50 + 1/4*|100-200| = 37.5+25 = 62.5
+        // srtt = 7/8*100 + 1/8*200 = 112.5
+        assert_eq!(e.rttvar(), Duration::from_micros(62_500));
+        assert_eq!(e.srtt(), Some(Duration::from_micros(112_500)));
+    }
+}

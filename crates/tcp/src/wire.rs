@@ -1,0 +1,590 @@
+//! TCP segment wire format.
+//!
+//! Real byte-level encoding and decoding of TCP headers and options. Every
+//! packet travelling through the simulator carries bytes produced here, so
+//! the codec is exercised by every experiment, not just by its tests.
+//!
+//! Multipath TCP options (option kind 30, RFC 6824) are carried as an
+//! opaque subtype payload at this layer; the `smapp-mptcp` crate owns the
+//! subtype codec. This mirrors the real-world layering where TCP option
+//! parsing and MPTCP option semantics live in different parts of the stack.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::seq::SeqNum;
+
+/// Maximum bytes of options a TCP header can carry (data offset is 4 bits).
+pub const MAX_OPTIONS_LEN: usize = 40;
+/// Length of the fixed TCP header.
+pub const TCP_HEADER_LEN: usize = 20;
+/// TCP option kind carrying all Multipath TCP signalling (RFC 6824).
+pub const OPT_KIND_MPTCP: u8 = 30;
+
+/// TCP header flags (the subset the engine uses).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Synchronize sequence numbers.
+    pub syn: bool,
+    /// Acknowledgment field significant.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+    /// Push function.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// SYN only.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// ACK only.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// RST (with ACK, as Linux sends it).
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
+
+    fn to_byte(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+    }
+
+    fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        if self.syn {
+            s.push('S');
+        }
+        if self.ack {
+            s.push('.');
+        }
+        if self.fin {
+            s.push('F');
+        }
+        if self.rst {
+            s.push('R');
+        }
+        if self.psh {
+            s.push('P');
+        }
+        write!(f, "[{s}]")
+    }
+}
+
+/// A TCP option.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcpOption {
+    /// Maximum segment size (kind 2), SYN-only.
+    Mss(u16),
+    /// Window scale shift (kind 3), SYN-only.
+    WindowScale(u8),
+    /// SACK permitted (kind 4); parsed but unused by this engine.
+    SackPermitted,
+    /// Timestamps (kind 8): value and echo reply.
+    Timestamps {
+        /// TSval.
+        val: u32,
+        /// TSecr.
+        ecr: u32,
+    },
+    /// A Multipath TCP option (kind 30); the payload starts with the
+    /// 4-bit subtype and is owned by the MPTCP layer.
+    Mptcp(Bytes),
+    /// Any option this engine does not understand; round-trips unchanged.
+    Unknown {
+        /// Option kind byte.
+        kind: u8,
+        /// Option payload (excluding kind and length bytes).
+        data: Bytes,
+    },
+}
+
+impl TcpOption {
+    /// Encoded size in bytes, including kind and length octets.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Timestamps { .. } => 10,
+            TcpOption::Mptcp(b) => 2 + b.len(),
+            TcpOption::Unknown { data, .. } => 2 + data.len(),
+        }
+    }
+}
+
+/// A decoded TCP header.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// Acknowledgment number (meaningful when `flags.ack`).
+    pub ack: SeqNum,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window (possibly scaled by a negotiated shift).
+    pub window: u16,
+    /// Options, in wire order.
+    pub options: Vec<TcpOption>,
+}
+
+/// A full TCP segment: header plus payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TcpSegment {
+    /// The header.
+    pub hdr: TcpHeader,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Errors from [`TcpSegment::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than a minimal header.
+    Truncated,
+    /// Data offset field smaller than 5 or past the end of the buffer.
+    BadDataOffset,
+    /// An option length field was zero, too small, or overran the header.
+    BadOptionLength,
+    /// Encoding was asked to fit more than 40 bytes of options.
+    OptionsTooLong,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "segment truncated"),
+            WireError::BadDataOffset => write!(f, "bad data offset"),
+            WireError::BadOptionLength => write!(f, "bad option length"),
+            WireError::OptionsTooLong => write!(f, "options exceed 40 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl TcpSegment {
+    /// Total bytes this segment occupies (header + options + payload).
+    pub fn wire_len(&self) -> usize {
+        TCP_HEADER_LEN + options_padded_len(&self.hdr.options) + self.payload.len()
+    }
+
+    /// First MPTCP option payload, if any.
+    pub fn mptcp_opt(&self) -> Option<&Bytes> {
+        self.mptcp_opts().next()
+    }
+
+    /// All MPTCP option payloads, in wire order (a segment may carry e.g.
+    /// a DSS and an ADD_ADDR together).
+    pub fn mptcp_opts(&self) -> impl Iterator<Item = &Bytes> {
+        self.hdr.options.iter().filter_map(|o| match o {
+            TcpOption::Mptcp(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Encode to wire bytes.
+    ///
+    /// # Errors
+    /// [`WireError::OptionsTooLong`] if the options exceed 40 bytes.
+    pub fn encode(&self) -> Result<Bytes, WireError> {
+        let opt_len = options_padded_len(&self.hdr.options);
+        if opt_len > MAX_OPTIONS_LEN {
+            return Err(WireError::OptionsTooLong);
+        }
+        let total = TCP_HEADER_LEN + opt_len + self.payload.len();
+        let mut buf = BytesMut::with_capacity(total);
+        let h = &self.hdr;
+        buf.put_u16(h.src_port);
+        buf.put_u16(h.dst_port);
+        buf.put_u32(h.seq.0);
+        buf.put_u32(h.ack.0);
+        let data_offset = ((TCP_HEADER_LEN + opt_len) / 4) as u8;
+        buf.put_u8(data_offset << 4);
+        buf.put_u8(h.flags.to_byte());
+        buf.put_u16(h.window);
+        buf.put_u16(0); // checksum: not modeled (no corruption in the simulator)
+        buf.put_u16(0); // urgent pointer
+        let mut written = 0usize;
+        for opt in &h.options {
+            written += opt.wire_len();
+            match opt {
+                TcpOption::Mss(v) => {
+                    buf.put_u8(2);
+                    buf.put_u8(4);
+                    buf.put_u16(*v);
+                }
+                TcpOption::WindowScale(s) => {
+                    buf.put_u8(3);
+                    buf.put_u8(3);
+                    buf.put_u8(*s);
+                }
+                TcpOption::SackPermitted => {
+                    buf.put_u8(4);
+                    buf.put_u8(2);
+                }
+                TcpOption::Timestamps { val, ecr } => {
+                    buf.put_u8(8);
+                    buf.put_u8(10);
+                    buf.put_u32(*val);
+                    buf.put_u32(*ecr);
+                }
+                TcpOption::Mptcp(b) => {
+                    buf.put_u8(OPT_KIND_MPTCP);
+                    buf.put_u8((2 + b.len()) as u8);
+                    buf.put_slice(b);
+                }
+                TcpOption::Unknown { kind, data } => {
+                    buf.put_u8(*kind);
+                    buf.put_u8((2 + data.len()) as u8);
+                    buf.put_slice(data);
+                }
+            }
+        }
+        // Pad options with NOPs to a 4-byte boundary.
+        while written % 4 != 0 {
+            buf.put_u8(1);
+            written += 1;
+        }
+        buf.put_slice(&self.payload);
+        Ok(buf.freeze())
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(b: &[u8]) -> Result<TcpSegment, WireError> {
+        if b.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let data_offset = (b[12] >> 4) as usize * 4;
+        if data_offset < TCP_HEADER_LEN || data_offset > b.len() {
+            return Err(WireError::BadDataOffset);
+        }
+        let mut hdr = TcpHeader {
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            seq: SeqNum(u32::from_be_bytes([b[4], b[5], b[6], b[7]])),
+            ack: SeqNum(u32::from_be_bytes([b[8], b[9], b[10], b[11]])),
+            flags: TcpFlags::from_byte(b[13]),
+            window: u16::from_be_bytes([b[14], b[15]]),
+            options: Vec::new(),
+        };
+        let mut i = TCP_HEADER_LEN;
+        while i < data_offset {
+            let kind = b[i];
+            match kind {
+                0 => break,    // end of options
+                1 => i += 1,   // NOP
+                _ => {
+                    if i + 1 >= data_offset {
+                        return Err(WireError::BadOptionLength);
+                    }
+                    let len = b[i + 1] as usize;
+                    if len < 2 || i + len > data_offset {
+                        return Err(WireError::BadOptionLength);
+                    }
+                    let body = &b[i + 2..i + len];
+                    let opt = match (kind, len) {
+                        (2, 4) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                        (3, 3) => TcpOption::WindowScale(body[0]),
+                        (4, 2) => TcpOption::SackPermitted,
+                        (8, 10) => TcpOption::Timestamps {
+                            val: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                            ecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                        },
+                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(Bytes::copy_from_slice(body)),
+                        _ => TcpOption::Unknown {
+                            kind,
+                            data: Bytes::copy_from_slice(body),
+                        },
+                    };
+                    hdr.options.push(opt);
+                    i += len;
+                }
+            }
+        }
+        Ok(TcpSegment {
+            hdr,
+            payload: Bytes::copy_from_slice(&b[data_offset..]),
+        })
+    }
+}
+
+/// Length of the encoded options area, padded to a 4-byte boundary.
+fn options_padded_len(options: &[TcpOption]) -> usize {
+    let raw: usize = options.iter().map(|o| o.wire_len()).sum();
+    raw.div_ceil(4) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> TcpHeader {
+        TcpHeader {
+            src_port: 43210,
+            dst_port: 80,
+            seq: SeqNum(0xDEAD_BEEF),
+            ack: SeqNum(0x0102_0304),
+            flags: TcpFlags::SYN_ACK,
+            window: 65_535,
+            options: vec![
+                TcpOption::Mss(1400),
+                TcpOption::WindowScale(7),
+                TcpOption::Mptcp(Bytes::from_static(&[0x00, 0x81, 1, 2, 3, 4, 5, 6, 7, 8])),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_options_and_payload() {
+        let seg = TcpSegment {
+            hdr: sample_header(),
+            payload: Bytes::from_static(b"hello world"),
+        };
+        let wire = seg.encode().unwrap();
+        let back = TcpSegment::decode(&wire).unwrap();
+        assert_eq!(back, seg);
+        assert_eq!(wire.len(), seg.wire_len());
+    }
+
+    #[test]
+    fn roundtrip_no_options() {
+        let seg = TcpSegment {
+            hdr: TcpHeader {
+                src_port: 1,
+                dst_port: 2,
+                flags: TcpFlags::ACK,
+                ..Default::default()
+            },
+            payload: Bytes::from_static(&[9; 100]),
+        };
+        let wire = seg.encode().unwrap();
+        assert_eq!(wire.len(), 120);
+        assert_eq!(TcpSegment::decode(&wire).unwrap(), seg);
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        for b in 0..32u8 {
+            let f = TcpFlags::from_byte(b);
+            assert_eq!(f.to_byte(), b & 0x1F);
+        }
+    }
+
+    #[test]
+    fn ports_lead_the_wire_format() {
+        // The simulator peeks ports from the first 4 payload bytes of a
+        // packet; guarantee the layout.
+        let seg = TcpSegment {
+            hdr: TcpHeader {
+                src_port: 0x1234,
+                dst_port: 0x5678,
+                ..Default::default()
+            },
+            payload: Bytes::new(),
+        };
+        let wire = seg.encode().unwrap();
+        assert_eq!(&wire[..4], &[0x12, 0x34, 0x56, 0x78]);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert_eq!(TcpSegment::decode(&[0; 10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_bad_offset() {
+        let mut wire = vec![0u8; 20];
+        wire[12] = 4 << 4; // data offset 16 < 20
+        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadDataOffset));
+        let mut wire = vec![0u8; 20];
+        wire[12] = 15 << 4; // data offset 60 > buffer
+        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadDataOffset));
+    }
+
+    #[test]
+    fn decode_rejects_bad_option_len() {
+        let seg = TcpSegment {
+            hdr: TcpHeader {
+                options: vec![TcpOption::Mss(1400)],
+                ..Default::default()
+            },
+            payload: Bytes::new(),
+        };
+        let mut wire = seg.encode().unwrap().to_vec();
+        wire[21] = 0; // MSS option length = 0
+        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadOptionLength));
+        wire[21] = 40; // overruns header
+        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadOptionLength));
+    }
+
+    #[test]
+    fn encode_rejects_oversized_options() {
+        let seg = TcpSegment {
+            hdr: TcpHeader {
+                options: vec![TcpOption::Unknown {
+                    kind: 99,
+                    data: Bytes::from(vec![0u8; 39]),
+                }],
+                ..Default::default()
+            },
+            payload: Bytes::new(),
+        };
+        assert_eq!(seg.encode(), Err(WireError::OptionsTooLong));
+    }
+
+    #[test]
+    fn unknown_options_roundtrip() {
+        let seg = TcpSegment {
+            hdr: TcpHeader {
+                options: vec![TcpOption::Unknown {
+                    kind: 254,
+                    data: Bytes::from_static(&[1, 2, 3]),
+                }],
+                ..Default::default()
+            },
+            payload: Bytes::new(),
+        };
+        let wire = seg.encode().unwrap();
+        assert_eq!(TcpSegment::decode(&wire).unwrap(), seg);
+    }
+
+    #[test]
+    fn mptcp_opt_accessor() {
+        let seg = TcpSegment {
+            hdr: sample_header(),
+            payload: Bytes::new(),
+        };
+        assert!(seg.mptcp_opt().is_some());
+        let none = TcpSegment::default();
+        assert!(none.mptcp_opt().is_none());
+    }
+
+    #[test]
+    fn nop_padding_parses() {
+        // WindowScale alone (3 bytes) forces one NOP of padding.
+        let seg = TcpSegment {
+            hdr: TcpHeader {
+                options: vec![TcpOption::WindowScale(2)],
+                ..Default::default()
+            },
+            payload: Bytes::from_static(b"x"),
+        };
+        let wire = seg.encode().unwrap();
+        assert_eq!(wire.len(), 20 + 4 + 1);
+        let back = TcpSegment::decode(&wire).unwrap();
+        assert_eq!(back.hdr.options, seg.hdr.options);
+        assert_eq!(back.payload, seg.payload);
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_option() -> impl Strategy<Value = TcpOption> {
+        prop_oneof![
+            any::<u16>().prop_map(TcpOption::Mss),
+            (0u8..15).prop_map(TcpOption::WindowScale),
+            Just(TcpOption::SackPermitted),
+            (any::<u32>(), any::<u32>())
+                .prop_map(|(val, ecr)| TcpOption::Timestamps { val, ecr }),
+            proptest::collection::vec(any::<u8>(), 0..18)
+                .prop_map(|v| TcpOption::Mptcp(Bytes::from(v))),
+            (5u8..=253, proptest::collection::vec(any::<u8>(), 0..10))
+                .prop_filter("kinds with dedicated decodings", |(kind, data)| {
+                    *kind != OPT_KIND_MPTCP && !(*kind == 8 && data.len() == 8)
+                })
+                .prop_map(|(kind, data)| TcpOption::Unknown {
+                    kind,
+                    data: Bytes::from(data),
+                }),
+        ]
+    }
+
+    fn arb_segment() -> impl Strategy<Value = TcpSegment> {
+        (
+            any::<u16>(),
+            any::<u16>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(arb_option(), 0..3),
+            proptest::collection::vec(any::<u8>(), 0..200),
+        )
+            .prop_map(
+                |(sp, dp, seq, ack, flags, window, options, payload)| TcpSegment {
+                    hdr: TcpHeader {
+                        src_port: sp,
+                        dst_port: dp,
+                        seq: SeqNum(seq),
+                        ack: SeqNum(ack),
+                        flags: TcpFlags::from_byte(flags),
+                        window,
+                        options,
+                    },
+                    payload: Bytes::from(payload),
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(seg in arb_segment()) {
+            prop_assume!(seg.hdr.options.iter().map(|o| o.wire_len()).sum::<usize>() <= 38);
+            let wire = seg.encode().unwrap();
+            let back = TcpSegment::decode(&wire).unwrap();
+            prop_assert_eq!(back, seg);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+            let _ = TcpSegment::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-module property tests for the TCP mechanics.
+
+use proptest::prelude::*;
+use smapp_sim::SimTime;
+use smapp_tcp::{unwrap_u32, Flight, RtoPolicy, RtoState, RttEstimator};
+use std::time::Duration;
+
+proptest! {
+    /// The RTO is always within the policy clamps, and never decreases as
+    /// backoffs accumulate.
+    #[test]
+    fn rto_monotone_and_clamped(
+        rtt_ms in 1u64..5_000,
+        expiries in 0u32..40,
+    ) {
+        let policy = RtoPolicy::default();
+        let mut rtt = RttEstimator::new();
+        rtt.on_sample(Duration::from_millis(rtt_ms));
+        let mut st = RtoState::new(policy.clone());
+        let mut prev = Duration::ZERO;
+        for _ in 0..expiries {
+            let cur = st.current_rto(&rtt);
+            prop_assert!(cur >= policy.min_rto);
+            prop_assert!(cur <= policy.max_rto);
+            prop_assert!(cur >= prev, "RTO never shrinks under backoff");
+            prev = cur;
+            st.on_expiry();
+        }
+        // Progress resets to the un-backoffed base value.
+        st.on_ack_progress();
+        let reset = st.current_rto(&rtt);
+        let fresh = RtoState::new(policy.clone()).current_rto(&rtt);
+        prop_assert_eq!(reset, fresh);
+        prop_assert_eq!(st.backoffs(), 0);
+    }
+
+    /// Unwrapping a wire value produced from a true offset recovers the
+    /// true offset whenever the receiver's expectation is within 2^31.
+    #[test]
+    fn unwrap_inverts_wrap(
+        true_off in 0u64..(1u64 << 40),
+        err in -100_000i64..100_000,
+    ) {
+        let expected = true_off.saturating_add_signed(err);
+        let wire = true_off as u32;
+        prop_assert_eq!(unwrap_u32(expected, wire), true_off);
+    }
+
+    /// The flight tracker conserves bytes: sent = acked + in-flight, and
+    /// cumulative ACKs never increase the in-flight count.
+    #[test]
+    fn flight_conserves_bytes(
+        segs in proptest::collection::vec(1u32..2000, 1..40),
+        ack_points in proptest::collection::vec(0u64..100_000, 1..20),
+    ) {
+        let mut f: Flight<()> = Flight::new();
+        let mut off = 0u64;
+        for (i, len) in segs.iter().enumerate() {
+            f.on_send(off, *len, SimTime::from_millis(i as u64), ());
+            off += *len as u64;
+        }
+        let total = off;
+        prop_assert_eq!(f.bytes_in_flight(), total);
+        let mut acked = 0u64;
+        let mut sorted = ack_points.clone();
+        sorted.sort_unstable();
+        for (i, upto) in sorted.into_iter().enumerate() {
+            let before = f.bytes_in_flight();
+            let res = f.on_cum_ack(upto.min(total), SimTime::from_secs(1 + i as u64));
+            acked += res.acked_bytes;
+            prop_assert!(f.bytes_in_flight() <= before);
+            prop_assert_eq!(acked + f.bytes_in_flight(), total);
+        }
+    }
+}
+
+/// Worst-case give-up time grows with max_retries and stays in the band
+/// the paper's narrative relies on.
+#[test]
+fn give_up_time_grows_with_retries() {
+    let mut rtt = RttEstimator::new();
+    rtt.on_sample(Duration::from_millis(20));
+    let mut prev = Duration::ZERO;
+    for retries in [3u32, 6, 10, 15] {
+        let st = RtoState::new(RtoPolicy {
+            max_retries: retries,
+            ..Default::default()
+        });
+        let t = st.worst_case_give_up_time(&rtt);
+        assert!(t > prev);
+        prev = t;
+    }
+    // 15 retries ≈ the paper's ~12-13 minutes.
+    assert!((600.0..900.0).contains(&prev.as_secs_f64()));
+}
