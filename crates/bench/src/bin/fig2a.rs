@@ -37,10 +37,6 @@ fn main() {
         Some(t) => println!("# completed_at_s\t{t:.3}"),
         None => println!("# completed_at_s\tnot finished"),
     }
-    println!(
-        "# paper: transfer starts on the master subflow; when the backed-off"
-    );
-    println!(
-        "# paper: RTO exceeds 1s the controller kills it and continues on the backup."
-    );
+    println!("# paper: transfer starts on the master subflow; when the backed-off");
+    println!("# paper: RTO exceeds 1s the controller kills it and continues on the backup.");
 }

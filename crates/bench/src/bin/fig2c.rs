@@ -15,7 +15,10 @@ fn main() {
         (30, 100_000_000)
     };
     eprintln!("# fig2c: 4 ECMP paths x 8 Mb/s (10/20/30/40 ms), 5 subflows,");
-    eprintln!("#        {} MB transfer, {runs} runs per manager", transfer / 1_000_000);
+    eprintln!(
+        "#        {} MB transfer, {runs} runs per manager",
+        transfer / 1_000_000
+    );
 
     // The third series is an ablation: ndiffports logic in userspace —
     // isolating "crossing the netlink boundary" from "the refresh policy".

@@ -28,7 +28,11 @@ fn main() {
         stressed,
         ..Default::default()
     });
-    let label = if stressed { "userspace-stressed" } else { "userspace" };
+    let label = if stressed {
+        "userspace-stressed"
+    } else {
+        "userspace"
+    };
     user.print_series(label, "us", 80);
     eprintln!("# {}", user.summary(label));
 

@@ -14,10 +14,11 @@ fn main() {
         max_retries: if quick { 6 } else { 15 },
         ..Default::default()
     };
+    eprintln!("# sec42 baseline: backup-flag semantics, primary blackholed at t=1s,");
     eprintln!(
-        "# sec42 baseline: backup-flag semantics, primary blackholed at t=1s,"
+        "#               give-up after {} doublings",
+        params.max_retries
     );
-    eprintln!("#               give-up after {} doublings", params.max_retries);
     let r = sec42::run(&params);
     match r.switch_at {
         Some(t) => {

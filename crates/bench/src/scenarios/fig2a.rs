@@ -69,8 +69,10 @@ pub fn run(p: &Params) -> Results {
         rto_threshold: p.rto_threshold,
         backup_src: CLIENT_ADDR2,
     });
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         Some(CLIENT_ADDR1),

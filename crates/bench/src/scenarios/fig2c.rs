@@ -111,10 +111,7 @@ pub fn run_one(p: &Params, seed: u64) -> (f64, usize) {
         .paths
         .iter()
         .filter(|&&l| {
-            sim.core
-                .link_stats(l, smapp_sim::Dir::AtoB)
-                .bytes_delivered
-                > p.transfer / 100
+            sim.core.link_stats(l, smapp_sim::Dir::AtoB).bytes_delivered > p.transfer / 100
         })
         .count();
     (summary.ended_at.as_secs_f64(), used)

@@ -72,8 +72,10 @@ pub fn run(p: &Params) -> (Cdf, u32) {
         Manager::Kernel => {
             Host::new("client", StackConfig::default()).with_pm(Box::new(NdiffportsPm::new(2)))
         }
-        Manager::Userspace => Host::new("client", StackConfig::default())
-            .with_user(ControllerRuntime::boxed(NdiffportsController::new(2)), latency),
+        Manager::Userspace => Host::new("client", StackConfig::default()).with_user(
+            ControllerRuntime::boxed(NdiffportsController::new(2)),
+            latency,
+        ),
     };
     let progress = Rc::new(RefCell::new(GetProgress::default()));
     client.connect_at(

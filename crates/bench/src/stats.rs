@@ -1,10 +1,8 @@
 //! Statistics helpers for the experiment harness: empirical CDFs and
 //! small summary tables, printed the way the paper's figures report them.
 
-use serde::Serialize;
-
 /// An empirical distribution over `f64` samples.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cdf {
     /// Sorted samples.
     pub samples: Vec<f64>,

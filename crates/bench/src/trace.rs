@@ -180,7 +180,11 @@ mod tests {
             },
             payload: Bytes::from(vec![0u8; len as usize]),
         };
-        Packet::tcp(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2), seg.encode().unwrap())
+        Packet::tcp(
+            Addr::new(1, 1, 1, 1),
+            Addr::new(2, 2, 2, 2),
+            seg.encode().unwrap(),
+        )
     }
 
     fn syn_pkt(opt: MpOption) -> Packet {
@@ -194,7 +198,11 @@ mod tests {
             },
             payload: Bytes::new(),
         };
-        Packet::tcp(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2), seg.encode().unwrap())
+        Packet::tcp(
+            Addr::new(1, 1, 1, 1),
+            Addr::new(2, 2, 2, 2),
+            seg.encode().unwrap(),
+        )
     }
 
     #[test]

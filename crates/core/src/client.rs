@@ -8,9 +8,7 @@
 
 use bytes::Bytes;
 use smapp_mptcp::{ConnToken, PmEvent, SubflowId};
-use smapp_netlink::{
-    decode, encode_command, NlError, PmNlCommand, PmNlMessage, UserCtx,
-};
+use smapp_netlink::{decode, encode_command, NlError, PmNlCommand, PmNlMessage, UserCtx};
 use smapp_sim::Addr;
 use smapp_tcp::TcpInfo;
 
@@ -140,7 +138,14 @@ impl PmClient {
         addr_id: u8,
         addr: Addr,
     ) {
-        self.send(ctx, &PmNlCommand::AnnounceAddr { token, addr_id, addr });
+        self.send(
+            ctx,
+            &PmNlCommand::AnnounceAddr {
+                token,
+                addr_id,
+                addr,
+            },
+        );
     }
 
     /// Withdraw a local address.
@@ -174,9 +179,7 @@ impl PmClient {
                 })
             }
             Ok(PmNlMessage::Ack { errno: 0, .. }) => None,
-            Ok(PmNlMessage::Ack { errno, .. }) => {
-                Some(ControllerEvent::CommandFailed { errno })
-            }
+            Ok(PmNlMessage::Ack { errno, .. }) => Some(ControllerEvent::CommandFailed { errno }),
             Ok(PmNlMessage::Command { .. }) | Err(_) => {
                 self.parse_errors += 1;
                 let _: Result<(), NlError> = Ok(());
@@ -216,10 +219,7 @@ mod tests {
         assert_eq!(c.commands_sent, 3);
         // Every frame decodes as a command.
         for f in &uc.to_kernel {
-            assert!(matches!(
-                decode(f).unwrap(),
-                PmNlMessage::Command { .. }
-            ));
+            assert!(matches!(decode(f).unwrap(), PmNlMessage::Command { .. }));
         }
     }
 

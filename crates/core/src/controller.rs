@@ -190,7 +190,8 @@ impl<C: SubflowController + 'static> UserProcess for ControllerRuntime<C> {
 
 /// Fetch a controller back out of a host (after a run).
 pub fn controller_of<C: SubflowController + 'static>(host: &smapp_pm::Host) -> Option<&C> {
-    host.user_as::<ControllerRuntime<C>>().map(|r| &r.controller)
+    host.user_as::<ControllerRuntime<C>>()
+        .map(|r| &r.controller)
 }
 
 #[cfg(test)]
@@ -230,7 +231,9 @@ mod tests {
         assert!(matches!(
             decode(&ctx.to_kernel[0]).unwrap(),
             PmNlMessage::Command {
-                cmd: smapp_netlink::PmNlCommand::Subscribe { mask: EVENT_MASK_ALL },
+                cmd: smapp_netlink::PmNlCommand::Subscribe {
+                    mask: EVENT_MASK_ALL
+                },
                 ..
             }
         ));

@@ -9,6 +9,23 @@
 //! to be underperforming. The controller then closes the underperforming
 //! subflow and creates a subflow over the backup interface to continue the
 //! transfer."
+//!
+//! ## Example
+//!
+//! ```
+//! use smapp::{BackupConfig, BackupController, ControllerRuntime};
+//! use smapp_sim::Addr;
+//! use std::time::Duration;
+//!
+//! // Cut the primary once its RTO passes 1 s (the paper's threshold) and
+//! // fail over to the cellular interface.
+//! let ctl = BackupController::new(BackupConfig {
+//!     rto_threshold: Duration::from_secs(1),
+//!     backup_src: Addr::new(10, 0, 2, 1),
+//! });
+//! let user_process = ControllerRuntime::boxed(ctl);
+//! # let _ = user_process;
+//! ```
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -77,7 +94,9 @@ impl SubflowController for BackupController {
                     },
                 );
             }
-            PmEvent::SubflowEstablished { token, id, tuple, .. } => {
+            PmEvent::SubflowEstablished {
+                token, id, tuple, ..
+            } => {
                 if let Some(rec) = self.conns.get_mut(token) {
                     rec.sub_src.insert(*id, tuple.src);
                 }
@@ -111,14 +130,7 @@ impl SubflowController for BackupController {
                 api.close_subflow(*token, *id, true);
                 rec.sub_src.remove(id);
                 // … then make.
-                api.open_subflow(
-                    *token,
-                    self.cfg.backup_src,
-                    0,
-                    rec.dst,
-                    rec.dst_port,
-                    false,
-                );
+                api.open_subflow(*token, self.cfg.backup_src, 0, rec.dst, rec.dst_port, false);
                 self.switchovers.push((api.now(), *token, *id));
             }
             _ => {}

@@ -9,6 +9,24 @@
 //! different timeouts based on the error condition (e.g. a short timeout
 //! if a RST was received and a longer timeout upon reception of an ICMP
 //! network unreachable message)."
+//!
+//! ## Example
+//!
+//! ```
+//! use smapp::{ControllerRuntime, FullMeshConfig, FullMeshController};
+//! use std::time::Duration;
+//!
+//! // Paper defaults: short retry after a RST, longer after ICMP unreachable.
+//! let dflt = FullMeshController::new();
+//!
+//! // Or tune the per-error backoffs before handing it to the runtime.
+//! let ctl = FullMeshController::with_config(FullMeshConfig {
+//!     retry_after_reset: Duration::from_millis(200),
+//!     ..Default::default()
+//! });
+//! let user_process = ControllerRuntime::boxed(ctl);
+//! # let _ = (dflt, user_process);
+//! ```
 
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
@@ -167,9 +185,8 @@ impl SubflowController for FullMeshController {
                 token, addr, port, ..
             } => {
                 if let Some(rec) = self.conns.get_mut(token) {
-                    let port = port.unwrap_or_else(|| {
-                        rec.remotes.first().map(|(_, p)| *p).unwrap_or(0)
-                    });
+                    let port =
+                        port.unwrap_or_else(|| rec.remotes.first().map(|(_, p)| *p).unwrap_or(0));
                     if !rec.remotes.iter().any(|(a, _)| a == addr) {
                         rec.remotes.push((*addr, port));
                     }

@@ -7,6 +7,23 @@
 //! `pacing_rate` of each subflow. [...] Our controller compares the
 //! pacing_rate of the different subflows, removes the one with the lowest
 //! rate and immediately creates a new subflow."
+//!
+//! ## Example
+//!
+//! ```
+//! use smapp::{ControllerRuntime, RefreshConfig, RefreshController};
+//! use std::time::Duration;
+//!
+//! // §4.4 defaults: 5 subflows, slowest replaced every 2.5 s, never
+//! // dropping below 2 established subflows.
+//! let cfg = RefreshConfig::default();
+//! assert_eq!(cfg.n, 5);
+//! assert_eq!(cfg.poll_interval, Duration::from_millis(2500));
+//!
+//! let ctl = RefreshController::new(RefreshConfig { n: 3, ..Default::default() });
+//! let user_process = ControllerRuntime::boxed(ctl);
+//! # let _ = user_process;
+//! ```
 
 use std::collections::HashMap;
 use std::time::Duration;

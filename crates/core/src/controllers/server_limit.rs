@@ -72,7 +72,9 @@ impl SubflowController for ServerLimitController {
                     live.push(*id);
                 }
             }
-            PmEvent::SubflowClosed { token, id, tuple, .. } => {
+            PmEvent::SubflowClosed {
+                token, id, tuple, ..
+            } => {
                 if let Some(per_addr) = self.conns.get_mut(token) {
                     if let Some(live) = per_addr.get_mut(&tuple.dst) {
                         live.retain(|s| s != id);

@@ -8,6 +8,20 @@
 //! subflow on the other interface. This controller also monitors the
 //! evolution of the RTO. If the RTO of a subflow becomes larger than
 //! 1 second, it is immediately closed."
+//!
+//! ## Example
+//!
+//! ```
+//! use smapp::{ControllerRuntime, StreamConfig, StreamController};
+//! use smapp_sim::Addr;
+//!
+//! // Paper workload: 64 KB blocks every second, checked at +500 ms, with
+//! // the second subflow opened from the other interface when lagging.
+//! let cfg = StreamConfig::paper(Addr::new(10, 0, 2, 1));
+//! assert_eq!(cfg.block_size, 64 * 1024);
+//! let user_process = ControllerRuntime::boxed(StreamController::new(cfg));
+//! # let _ = user_process;
+//! ```
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -129,7 +143,9 @@ impl SubflowController for StreamController {
                     api.set_timer(self.cfg.check_offset, idx);
                 }
             }
-            PmEvent::SubflowEstablished { token, id, tuple, .. } => {
+            PmEvent::SubflowEstablished {
+                token, id, tuple, ..
+            } => {
                 if let Some(rec) = self.conns.get_mut(token) {
                     rec.sub_src.insert(*id, tuple.src);
                 }
@@ -215,7 +231,14 @@ impl SubflowController for StreamController {
         let target = block * self.cfg.block_size + self.cfg.min_progress;
         if snd_una < target && !rec.second_opened {
             rec.second_opened = true;
-            api.open_subflow(token, self.cfg.secondary_src, 0, rec.dst, rec.dst_port, false);
+            api.open_subflow(
+                token,
+                self.cfg.secondary_src,
+                0,
+                rec.dst,
+                rec.dst_port,
+                false,
+            );
             self.interventions.push(now);
         }
     }

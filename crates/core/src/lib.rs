@@ -65,13 +65,11 @@ pub use controllers::{
 
 /// Convenient glob import for examples and experiments.
 pub mod prelude {
-    pub use crate::controller::{
-        controller_of, ControlApi, ControllerRuntime, SubflowController,
-    };
+    pub use crate::controller::{controller_of, ControlApi, ControllerRuntime, SubflowController};
     pub use crate::controllers::{
-        BackupConfig, BackupController, FullMeshConfig, FullMeshController,
-        NdiffportsController, RefreshConfig, RefreshController, ServerLimitConfig,
-        ServerLimitController, StreamConfig, StreamController,
+        BackupConfig, BackupController, FullMeshConfig, FullMeshController, NdiffportsController,
+        RefreshConfig, RefreshController, ServerLimitConfig, ServerLimitController, StreamConfig,
+        StreamController,
     };
     pub use smapp_mptcp::{ConnToken, PmEvent, StackConfig, SubflowError, SubflowId};
     pub use smapp_netlink::LatencyModel;

@@ -64,8 +64,10 @@ fn backup_controller_switches_when_rto_escalates() {
         rto_threshold: Duration::from_secs(1),
         backup_src: CLIENT_ADDR2,
     });
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         Some(CLIENT_ADDR1),
@@ -119,8 +121,10 @@ fn backup_controller_stays_quiet_on_healthy_path() {
         rto_threshold: Duration::from_secs(1),
         backup_src: CLIENT_ADDR2,
     });
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         Some(CLIENT_ADDR1),
@@ -158,18 +162,16 @@ fn backup_controller_stays_quiet_on_healthy_path() {
 #[test]
 fn stream_controller_adds_subflow_when_block_lags() {
     let controller = StreamController::new(StreamConfig::paper(CLIENT_ADDR2));
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         Some(CLIENT_ADDR1),
         SERVER_ADDR,
         80,
-        Box::new(StreamSender::new(
-            64 * 1024,
-            Duration::from_secs(1),
-            15,
-        )),
+        Box::new(StreamSender::new(64 * 1024, Duration::from_secs(1), 15)),
     );
     let net = topo::two_path(
         3,
@@ -200,8 +202,10 @@ fn stream_controller_adds_subflow_when_block_lags() {
 #[test]
 fn stream_controller_idle_when_path_is_good() {
     let controller = StreamController::new(StreamConfig::paper(CLIENT_ADDR2));
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         Some(CLIENT_ADDR1),
@@ -238,8 +242,10 @@ fn stream_controller_idle_when_path_is_good() {
 #[test]
 fn refresh_controller_ends_up_using_all_paths() {
     let controller = RefreshController::new(RefreshConfig::default());
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         None,
@@ -251,8 +257,9 @@ fn refresh_controller_ends_up_using_all_paths() {
                 .stop_sim_when_acked(),
         ),
     );
-    let paths: Vec<smapp_sim::LinkCfg> =
-        (1..=4).map(|i| smapp_sim::LinkCfg::mbps_ms(8, 10 * i)).collect();
+    let paths: Vec<smapp_sim::LinkCfg> = (1..=4)
+        .map(|i| smapp_sim::LinkCfg::mbps_ms(8, 10 * i))
+        .collect();
     let net = topo::ecmp(5, client, server(), &paths);
     let mut sim = net.sim;
     sim.run_until(SimTime::from_secs(120));
@@ -267,7 +274,10 @@ fn refresh_controller_ends_up_using_all_paths() {
         .iter()
         .filter(|&&l| sim.core.link_stats(l, Dir::AtoB).bytes_delivered > 100_000)
         .count();
-    assert!(used >= 3, "refresh should spread onto >=3 of 4 paths, got {used}");
+    assert!(
+        used >= 3,
+        "refresh should spread onto >=3 of 4 paths, got {used}"
+    );
     assert_eq!(server_sink(&sim, net.server).received, 60_000_000);
     // The refresh loop actually ran (collisions among 5 random ports on 4
     // paths are near-certain, so at least one refresh must have fired).
@@ -322,8 +332,10 @@ fn fullmesh_user_survives_middlebox_state_loss() {
     let mut cfg = StackConfig::default();
     cfg.rto.max_retries = 5; // die after ~6 s of retransmissions
     let controller = FullMeshController::new();
-    let mut client = Host::new("client", cfg.clone())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", cfg.clone()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         None,
@@ -430,8 +442,8 @@ fn server_limit_controller_rejects_excess_subflows() {
     // Client greedily opens 4 subflows from the same address (kernel
     // ndiffports); the server's controller accepts at most 2 per address
     // and RSTs the rest.
-    let mut client = Host::new("client", StackConfig::default())
-        .with_pm(Box::new(NdiffportsPm::new(4)));
+    let mut client =
+        Host::new("client", StackConfig::default()).with_pm(Box::new(NdiffportsPm::new(4)));
     client.connect_at(
         SimTime::from_millis(10),
         None,
@@ -444,10 +456,8 @@ fn server_limit_controller_rejects_excess_subflows() {
         ),
     );
     let limiter = ServerLimitController::new(ServerLimitConfig { max_per_addr: 2 });
-    let mut server = Host::new("server", StackConfig::default()).with_user(
-        ControllerRuntime::boxed(limiter),
-        LatencyModel::idle_host(),
-    );
+    let mut server = Host::new("server", StackConfig::default())
+        .with_user(ControllerRuntime::boxed(limiter), LatencyModel::idle_host());
     server.listen(
         80,
         Box::new(|| {
@@ -469,7 +479,11 @@ fn server_limit_controller_rejects_excess_subflows() {
 
     let server_host = topo::host(&sim, net.server);
     let ctrl = controller_of::<ServerLimitController>(server_host).unwrap();
-    assert_eq!(ctrl.rejections.len(), 2, "2 of 4 same-address subflows rejected");
+    assert_eq!(
+        ctrl.rejections.len(),
+        2,
+        "2 of 4 same-address subflows rejected"
+    );
     // The transfer still completed over the accepted subflows.
     assert_eq!(server_sink(&sim, net.server).received, 500_000);
     // The client's connection ends with at most 2 subflows ever carrying data.

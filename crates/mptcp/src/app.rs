@@ -88,12 +88,8 @@ impl AppCtx<'_, '_> {
     /// Arm an application timer. `token` must fit in 32 bits (the stack
     /// multiplexes it into its timer space).
     pub fn set_timer(&mut self, after: std::time::Duration, token: u32) {
-        let t = crate::stack::timer_token(
-            crate::stack::TimerKind::App,
-            self.conn.idx,
-            0,
-            token as u64,
-        );
+        let t =
+            crate::stack::timer_token(crate::stack::TimerKind::App, self.conn.idx, 0, token as u64);
         self.env.timers.push((after, t));
     }
 

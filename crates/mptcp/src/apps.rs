@@ -390,28 +390,26 @@ mod tests {
             )
             .unwrap();
         h.run_until(SimTime::from_secs(20));
-        let sink = h
-            .b
-            .connections()
-            .next()
-            .unwrap()
-            .app()
-            .unwrap()
-            .as_any()
-            .downcast_ref::<Sink>()
-            .unwrap();
+        let sink =
+            h.b.connections()
+                .next()
+                .unwrap()
+                .app()
+                .unwrap()
+                .as_any()
+                .downcast_ref::<Sink>()
+                .unwrap();
         assert_eq!(sink.received, 256 * 1024);
         assert_eq!(sink.block_completions.len(), 4);
         assert!(sink.block_completions.windows(2).all(|w| w[0] <= w[1]));
-        let bulk = h
-            .a
-            .conn_by_token(token)
-            .unwrap()
-            .app()
-            .unwrap()
-            .as_any()
-            .downcast_ref::<BulkSender>()
-            .unwrap();
+        let bulk =
+            h.a.conn_by_token(token)
+                .unwrap()
+                .app()
+                .unwrap()
+                .as_any()
+                .downcast_ref::<BulkSender>()
+                .unwrap();
         assert!(bulk.acked_at.is_some());
     }
 
@@ -428,11 +426,7 @@ mod tests {
             .connect(
                 Side::A,
                 80,
-                Box::new(StreamSender::new(
-                    64 * 1024,
-                    Duration::from_secs(1),
-                    5,
-                )),
+                Box::new(StreamSender::new(64 * 1024, Duration::from_secs(1), 5)),
             )
             .unwrap();
         h.run_until(SimTime::from_secs(30));
@@ -444,16 +438,15 @@ mod tests {
         for w in s.block_starts.windows(2) {
             assert_eq!((w[1] - w[0]).as_millis(), 1000);
         }
-        let sink = h
-            .b
-            .connections()
-            .next()
-            .unwrap()
-            .app()
-            .unwrap()
-            .as_any()
-            .downcast_ref::<Sink>()
-            .unwrap();
+        let sink =
+            h.b.connections()
+                .next()
+                .unwrap()
+                .app()
+                .unwrap()
+                .as_any()
+                .downcast_ref::<Sink>()
+                .unwrap();
         assert_eq!(sink.received, 5 * 64 * 1024);
         assert_eq!(sink.block_completions.len(), 5);
     }

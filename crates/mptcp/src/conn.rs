@@ -192,7 +192,16 @@ impl Connection {
         let nonce = env.rng.range_u64(0, 1 << 32) as u32;
         let mut conn = Connection::common(idx, cfg, Role::Client, local_key, app, env.now);
         conn.initial_remote = (tuple.dst, tuple.dst_port);
-        let mut sf = conn.new_subflow_obj(cfg, tuple, SfState::SynSent, true, iss, nonce, false, env.now);
+        let mut sf = conn.new_subflow_obj(
+            cfg,
+            tuple,
+            SfState::SynSent,
+            true,
+            iss,
+            nonce,
+            false,
+            env.now,
+        );
         sf.id = 0;
         conn.subflows.push(sf);
         events.push(PmEvent::ConnCreated {
@@ -238,8 +247,16 @@ impl Connection {
             conn.fallback = true;
         }
         conn.initial_remote = (tuple.dst, tuple.dst_port);
-        let mut sf =
-            conn.new_subflow_obj(cfg, tuple, SfState::SynReceived, false, iss, 0, false, env.now);
+        let mut sf = conn.new_subflow_obj(
+            cfg,
+            tuple,
+            SfState::SynReceived,
+            false,
+            iss,
+            0,
+            false,
+            env.now,
+        );
         sf.id = 0;
         sf.irs = syn.hdr.seq.0;
         sf.peer_wscale = syn
@@ -373,7 +390,16 @@ impl Connection {
         }
         let iss = env.rng.range_u64(0, 1 << 32) as u32;
         let nonce = env.rng.range_u64(0, 1 << 32) as u32;
-        let sf = self.new_subflow_obj(cfg, tuple, SfState::SynSent, true, iss, nonce, backup, env.now);
+        let sf = self.new_subflow_obj(
+            cfg,
+            tuple,
+            SfState::SynSent,
+            true,
+            iss,
+            nonce,
+            backup,
+            env.now,
+        );
         let id = sf.id;
         self.subflows.push(sf);
         self.send_syn(id, cfg, env);
@@ -646,7 +672,8 @@ impl Connection {
     }
 
     fn recv_free(&self) -> u64 {
-        self.recv_buf.saturating_sub(self.meta_recv.buffered_bytes())
+        self.recv_buf
+            .saturating_sub(self.meta_recv.buffered_bytes())
     }
 
     // ------------------------------------------------------------------
@@ -746,11 +773,7 @@ impl Connection {
         sf.dupacks = 0;
         // Connection-level reinjection: everything this subflow has in
         // flight becomes eligible on the other subflows.
-        let ranges: Vec<MetaRange> = sf
-            .flight
-            .iter()
-            .filter_map(|s| s.tag.map)
-            .collect();
+        let ranges: Vec<MetaRange> = sf.flight.iter().filter_map(|s| s.tag.map).collect();
         for r in ranges {
             self.add_reinject(r);
         }
@@ -926,11 +949,7 @@ impl Connection {
 
     fn gc_reinject(&mut self) {
         let una = self.meta_una;
-        let to_fix: Vec<(u64, u64)> = self
-            .reinject
-            .range(..una)
-            .map(|(&s, &e)| (s, e))
-            .collect();
+        let to_fix: Vec<(u64, u64)> = self.reinject.range(..una).map(|(&s, &e)| (s, e)).collect();
         for (s, e) in to_fix {
             self.reinject.remove(&s);
             if e > una {
@@ -1539,17 +1558,16 @@ impl Connection {
                     addr_id,
                     addr,
                     port,
-                })
-                    if !self.remote_addrs.iter().any(|(i, _, _)| *i == addr_id) => {
-                        let p = port.unwrap_or(self.subflows[id as usize].tuple.dst_port);
-                        self.remote_addrs.push((addr_id, addr, p));
-                        extra_events.push(PmEvent::AddAddrReceived {
-                            token: self.token,
-                            addr_id,
-                            addr,
-                            port,
-                        });
-                    }
+                }) if !self.remote_addrs.iter().any(|(i, _, _)| *i == addr_id) => {
+                    let p = port.unwrap_or(self.subflows[id as usize].tuple.dst_port);
+                    self.remote_addrs.push((addr_id, addr, p));
+                    extra_events.push(PmEvent::AddAddrReceived {
+                        token: self.token,
+                        addr_id,
+                        addr,
+                        port,
+                    });
+                }
                 Ok(MpOption::RemoveAddr { addr_ids }) => {
                     for aid in addr_ids {
                         self.remote_addrs.retain(|(i, _, _)| *i != aid);
@@ -1676,9 +1694,7 @@ impl Connection {
         if let Some(d) = &dss {
             if d.data_fin {
                 let fin_meta = match d.mapping {
-                    Some(m) if m.len > 0 => {
-                        self.meta_off_from_wire_dsn(m.dsn) + m.len as u64
-                    }
+                    Some(m) if m.len > 0 => self.meta_off_from_wire_dsn(m.dsn) + m.len as u64,
                     Some(m) => self.meta_off_from_wire_dsn(m.dsn),
                     None => self.meta_recv.next_expected(),
                 };
@@ -1879,10 +1895,7 @@ impl Connection {
 
     fn try_send_subflow_fin(&mut self, id: SubflowId, env: &mut StackEnv<'_>) {
         let sf = &mut self.subflows[id as usize];
-        if sf.state != SfState::Established
-            || sf.fin_sent_off.is_some()
-            || !sf.flight.is_empty()
-        {
+        if sf.state != SfState::Established || sf.fin_sent_off.is_some() || !sf.flight.is_empty() {
             return;
         }
         let fin_off = sf.snd_off;
@@ -2203,7 +2216,13 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(events[0], PmEvent::ConnCreated { is_client: true, .. }));
+        assert!(matches!(
+            events[0],
+            PmEvent::ConnCreated {
+                is_client: true,
+                ..
+            }
+        ));
         // One RTO timer armed for the SYN.
         assert_eq!(env.timers.len(), 1);
     }

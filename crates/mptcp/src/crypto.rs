@@ -103,7 +103,10 @@ mod tests {
     // RFC 3174 / FIPS 180-1 test vectors.
     #[test]
     fn sha1_abc() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -167,7 +170,10 @@ mod tests {
         // Case 6: 80-byte key forces the key-hashing path.
         let key = [0xaa; 80];
         assert_eq!(
-            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha1(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "aa4ae5e15272d00e95705637ce8a3b55ed402112"
         );
     }

@@ -154,11 +154,7 @@ impl Harness {
     /// Run `f` against one stack with a fresh env, then dispatch whatever
     /// the call produced. The RNG is temporarily moved out of `self` so the
     /// env can borrow it while `self` stays usable afterwards.
-    fn call<R>(
-        &mut self,
-        side: Side,
-        f: impl FnOnce(&mut HostStack, &mut StackEnv<'_>) -> R,
-    ) -> R {
+    fn call<R>(&mut self, side: Side, f: impl FnOnce(&mut HostStack, &mut StackEnv<'_>) -> R) -> R {
         let mut rng = std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0));
         let now = self.now;
         let (r, parts, stop) = {

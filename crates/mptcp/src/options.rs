@@ -330,7 +330,11 @@ impl MpOption {
                     ..Default::default()
                 };
                 if flags & DSS_FLAG_DATA_ACK != 0 {
-                    let w = if flags & DSS_FLAG_DATA_ACK8 != 0 { 8 } else { 4 };
+                    let w = if flags & DSS_FLAG_DATA_ACK8 != 0 {
+                        8
+                    } else {
+                        4
+                    };
                     if p.len() < i + w {
                         return Err(MpParseError::Truncated);
                     }
@@ -546,7 +550,9 @@ mod tests {
             backup: false,
             addr_id: Some(9),
         });
-        roundtrip(MpOption::Fail { dsn: 0xFFFF_0000_1111 });
+        roundtrip(MpOption::Fail {
+            dsn: 0xFFFF_0000_1111,
+        });
         roundtrip(MpOption::FastClose { key: 0xABCD });
     }
 
@@ -559,10 +565,7 @@ mod tests {
         );
         assert_eq!(
             MpOption::decode(&[0x00, 0, 1]),
-            Err(MpParseError::BadLength {
-                subtype: 0,
-                len: 3
-            })
+            Err(MpParseError::BadLength { subtype: 0, len: 3 })
         );
         // DSS claiming a mapping but truncated.
         assert_eq!(
@@ -602,14 +605,17 @@ mod prop {
 
     fn arb_option() -> impl Strategy<Value = MpOption> {
         prop_oneof![
-            (any::<u8>(), any::<u64>(), proptest::option::of(any::<u64>())).prop_map(
-                |(flags, sk, rk)| MpOption::Capable {
+            (
+                any::<u8>(),
+                any::<u64>(),
+                proptest::option::of(any::<u64>())
+            )
+                .prop_map(|(flags, sk, rk)| MpOption::Capable {
                     version: 0,
                     flags,
                     sender_key: sk,
                     receiver_key: rk,
-                }
-            ),
+                }),
             (any::<bool>(), any::<u8>(), any::<u32>(), any::<u32>()).prop_map(
                 |(backup, addr_id, token, nonce)| MpOption::JoinSyn {
                     backup,
@@ -637,13 +643,16 @@ mod prop {
                     mapping: map.map(|(dsn, ssn, len)| DssMapping { dsn, ssn, len }),
                     data_fin: fin,
                 })),
-            (any::<u8>(), any::<u32>(), proptest::option::of(any::<u16>())).prop_map(
-                |(addr_id, a, port)| MpOption::AddAddr {
+            (
+                any::<u8>(),
+                any::<u32>(),
+                proptest::option::of(any::<u16>())
+            )
+                .prop_map(|(addr_id, a, port)| MpOption::AddAddr {
                     addr_id,
                     addr: Addr(a),
                     port,
-                }
-            ),
+                }),
             proptest::collection::vec(any::<u8>(), 1..8)
                 .prop_map(|addr_ids| MpOption::RemoveAddr { addr_ids }),
             (any::<bool>(), proptest::option::of(any::<u8>()))

@@ -419,7 +419,10 @@ mod tests {
                 addr: Addr::new(1, 1, 1, 1),
                 port: None,
             },
-            PmEvent::RemAddrReceived { token: 1, addr_id: 1 },
+            PmEvent::RemAddrReceived {
+                token: 1,
+                addr_id: 1,
+            },
             PmEvent::RtoExpired {
                 token: 1,
                 id: 0,

@@ -81,11 +81,7 @@ impl Scheduler for RoundRobin {
         let mut ids: Vec<SubflowId> = candidates.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         let next = match self.last {
-            Some(last) => ids
-                .iter()
-                .copied()
-                .find(|&id| id > last)
-                .unwrap_or(ids[0]),
+            Some(last) => ids.iter().copied().find(|&id| id > last).unwrap_or(ids[0]),
             None => ids[0],
         };
         self.last = Some(next);
@@ -167,7 +163,11 @@ mod tests {
     #[test]
     fn round_robin_rotates() {
         let mut s = RoundRobin::default();
-        let c = [cand(0, Some(10), 1), cand(1, Some(10), 1), cand(2, Some(10), 1)];
+        let c = [
+            cand(0, Some(10), 1),
+            cand(1, Some(10), 1),
+            cand(2, Some(10), 1),
+        ];
         assert_eq!(s.select(&c), Some(0));
         assert_eq!(s.select(&c), Some(1));
         assert_eq!(s.select(&c), Some(2));

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use smapp_sim::{Addr, Packet, IcmpMsg, PROTO_ICMP, PROTO_TCP};
+use smapp_sim::{Addr, IcmpMsg, Packet, PROTO_ICMP, PROTO_TCP};
 use smapp_tcp::{SeqNum, TcpFlags, TcpHeader, TcpInfo, TcpSegment};
 
 use crate::app::App;
@@ -17,9 +17,7 @@ use crate::config::StackConfig;
 use crate::conn::{ConnInfo, ConnState, Connection};
 use crate::env::StackEnv;
 use crate::options::MpOption;
-use crate::pm::{
-    ConnToken, FourTuple, PmAction, PmEvent, StackView, SubflowError, SubflowId,
-};
+use crate::pm::{ConnToken, FourTuple, PmAction, PmEvent, StackView, SubflowError, SubflowId};
 
 /// Timer classes multiplexed into the stack's `u64` timer tokens.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -207,9 +205,7 @@ impl HostStack {
             if let Some(token) = join_token {
                 if let Some(&idx) = self.by_token.get(&token) {
                     if let Some(conn) = self.conns[idx].as_mut() {
-                        if let Some(sub) =
-                            conn.accept_join_syn(&self.cfg, env, tuple, &seg)
-                        {
+                        if let Some(sub) = conn.accept_join_syn(&self.cfg, env, tuple, &seg) {
                             self.flows.insert(tuple, (idx, sub));
                             self.used_ports.insert((tuple.src, tuple.src_port));
                             return;
@@ -469,11 +465,7 @@ impl HostStack {
 
     /// Tokens of all connections (including closed ones, for reporting).
     pub fn tokens(&self) -> Vec<ConnToken> {
-        self.conns
-            .iter()
-            .flatten()
-            .map(|c| c.token)
-            .collect()
+        self.conns.iter().flatten().map(|c| c.token).collect()
     }
 
     /// A connection by token (live) or by scanning (closed).
@@ -481,10 +473,7 @@ impl HostStack {
         if let Some(&idx) = self.by_token.get(&token) {
             return self.conns[idx].as_deref_conn();
         }
-        self.conns
-            .iter()
-            .flatten()
-            .find(|c| c.token == token)
+        self.conns.iter().flatten().find(|c| c.token == token)
     }
 
     /// Mutable connection access by token.
@@ -492,10 +481,7 @@ impl HostStack {
         if let Some(&idx) = self.by_token.get(&token) {
             return self.conns[idx].as_mut();
         }
-        self.conns
-            .iter_mut()
-            .flatten()
-            .find(|c| c.token == token)
+        self.conns.iter_mut().flatten().find(|c| c.token == token)
     }
 
     /// All connections, in creation order.

@@ -233,9 +233,7 @@ impl Subflow {
 
     /// Wire sequence number for payload offset `off`.
     pub fn wire_seq(&self, off: u64) -> u32 {
-        (self.iss as u64)
-            .wrapping_add(1)
-            .wrapping_add(off) as u32
+        (self.iss as u64).wrapping_add(1).wrapping_add(off) as u32
     }
 
     /// Unwrap an incoming wire sequence number to a payload offset, guided
@@ -482,11 +480,16 @@ mod tests {
         let mut s = mk(0, 0);
         assert_eq!(s.cwnd_space(), 14_000);
         assert!(s.can_carry_data());
-        s.flight.on_send(0, 14_000, SimTime::ZERO, SegTag {
-            map: None,
-            payload: Bytes::new(),
-            data_fin: false,
-        });
+        s.flight.on_send(
+            0,
+            14_000,
+            SimTime::ZERO,
+            SegTag {
+                map: None,
+                payload: Bytes::new(),
+                data_fin: false,
+            },
+        );
         assert_eq!(s.cwnd_space(), 0);
         s.fin_wanted = true;
         assert!(!s.can_carry_data());

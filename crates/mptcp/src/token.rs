@@ -39,7 +39,9 @@ pub fn join_hmac_b(key_a: Key, key_b: Key, nonce_a: u32, nonce_b: u32) -> u64 {
     msg.extend_from_slice(&nonce_b.to_be_bytes());
     msg.extend_from_slice(&nonce_a.to_be_bytes());
     let mac = crate::crypto::hmac_sha1(&key, &msg);
-    u64::from_be_bytes([mac[0], mac[1], mac[2], mac[3], mac[4], mac[5], mac[6], mac[7]])
+    u64::from_be_bytes([
+        mac[0], mac[1], mac[2], mac[3], mac[4], mac[5], mac[6], mac[7],
+    ])
 }
 
 /// HMAC for the third `MP_JOIN` ACK (RFC 6824 §3.2): key = Key-A ‖ Key-B,

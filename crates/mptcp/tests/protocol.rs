@@ -27,12 +27,7 @@ fn closing_sink() -> Box<dyn smapp_mptcp::App> {
 }
 
 fn two_addr_harness(seed: u64) -> Harness {
-    let mut h = Harness::new(
-        seed,
-        Duration::from_millis(10),
-        vec![A1, A2],
-        vec![B1],
-    );
+    let mut h = Harness::new(seed, Duration::from_millis(10), vec![A1, A2], vec![B1]);
     h.b.listen(80, Box::new(|| closing_sink()));
     h
 }
@@ -101,7 +96,11 @@ fn round_robin_spreads_data_over_subflows() {
         s
     };
     let token = h
-        .connect(Side::A, 80, Box::new(BulkSender::new(2_000_000).close_when_done()))
+        .connect(
+            Side::A,
+            80,
+            Box::new(BulkSender::new(2_000_000).close_when_done()),
+        )
         .unwrap();
     h.run_until(SimTime::from_millis(50));
     h.apply(
@@ -121,17 +120,16 @@ fn round_robin_spreads_data_over_subflows() {
     let s1 = conn.subflow_info(1).unwrap();
     assert!(s0.bytes_acked > 100_000, "subflow 0 carried data: {s0:?}");
     assert!(s1.bytes_acked > 100_000, "subflow 1 carried data: {s1:?}");
-    let sink_bytes = h
-        .b
-        .connections()
-        .next()
-        .unwrap()
-        .app()
-        .unwrap()
-        .as_any()
-        .downcast_ref::<Sink>()
-        .unwrap()
-        .received;
+    let sink_bytes =
+        h.b.connections()
+            .next()
+            .unwrap()
+            .app()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Sink>()
+            .unwrap()
+            .received;
     assert_eq!(sink_bytes, 2_000_000);
 }
 
@@ -185,17 +183,16 @@ fn backup_subflow_idle_until_primary_dies() {
         backup.bytes_acked > 0,
         "backup takes over after the primary dies"
     );
-    let sink_bytes = h
-        .b
-        .connections()
-        .next()
-        .unwrap()
-        .app()
-        .unwrap()
-        .as_any()
-        .downcast_ref::<Sink>()
-        .unwrap()
-        .received;
+    let sink_bytes =
+        h.b.connections()
+            .next()
+            .unwrap()
+            .app()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Sink>()
+            .unwrap()
+            .received;
     assert_eq!(sink_bytes, 3_000_000, "no data lost across the switchover");
 }
 
@@ -241,17 +238,16 @@ fn blackhole_triggers_rto_reinjection() {
         conn.stats.reinjections > 0,
         "lost in-flight data must be reinjected at the connection level"
     );
-    let sink_bytes = h
-        .b
-        .connections()
-        .next()
-        .unwrap()
-        .app()
-        .unwrap()
-        .as_any()
-        .downcast_ref::<Sink>()
-        .unwrap()
-        .received;
+    let sink_bytes =
+        h.b.connections()
+            .next()
+            .unwrap()
+            .app()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Sink>()
+            .unwrap()
+            .received;
     assert_eq!(sink_bytes, 2_000_000);
 }
 
@@ -358,28 +354,22 @@ fn break_before_make_resumes_on_new_subflow() {
         },
     ));
     h.run_until(SimTime::from_secs(200));
-    let sink_bytes = h
-        .b
-        .connections()
-        .next()
-        .unwrap()
-        .app()
-        .unwrap()
-        .as_any()
-        .downcast_ref::<Sink>()
-        .unwrap()
-        .received;
+    let sink_bytes =
+        h.b.connections()
+            .next()
+            .unwrap()
+            .app()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Sink>()
+            .unwrap()
+            .received;
     assert_eq!(sink_bytes, total, "transfer completes on the new subflow");
 }
 
 #[test]
 fn add_addr_learned_and_usable_for_join() {
-    let mut h = Harness::new(
-        8,
-        Duration::from_millis(10),
-        vec![A1, A2],
-        vec![B1, B2],
-    );
+    let mut h = Harness::new(8, Duration::from_millis(10), vec![A1, A2], vec![B1, B2]);
     h.b.listen(80, Box::new(|| closing_sink()));
     h.pm_a = Box::new(RecordingPm::default());
     let token = h.connect(Side::A, 80, Box::new(NullApp)).unwrap();
@@ -427,12 +417,7 @@ fn add_addr_learned_and_usable_for_join() {
 
 #[test]
 fn remove_addr_event_reaches_peer_pm() {
-    let mut h = Harness::new(
-        9,
-        Duration::from_millis(10),
-        vec![A1],
-        vec![B1, B2],
-    );
+    let mut h = Harness::new(9, Duration::from_millis(10), vec![A1], vec![B1, B2]);
     h.b.listen(80, Box::new(|| closing_sink()));
     h.pm_a = Box::new(RecordingPm::default());
     h.connect(Side::A, 80, Box::new(NullApp)).unwrap();
@@ -507,17 +492,16 @@ fn plain_tcp_fallback_when_server_lacks_mptcp() {
     let conn = h.a.conn_by_token(token).unwrap();
     assert_eq!(conn.state, ConnState::Closed, "transfer completed");
     assert_eq!(conn.remote_token(), None, "no MPTCP negotiated");
-    let sink_bytes = h
-        .b
-        .connections()
-        .next()
-        .unwrap()
-        .app()
-        .unwrap()
-        .as_any()
-        .downcast_ref::<Sink>()
-        .unwrap()
-        .received;
+    let sink_bytes =
+        h.b.connections()
+            .next()
+            .unwrap()
+            .app()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Sink>()
+            .unwrap()
+            .received;
     assert_eq!(sink_bytes, 100_000);
     // A join attempt on a fallback connection must fail.
     assert!(!h.apply(
@@ -595,16 +579,15 @@ fn heavy_loss_transfer_still_completes_on_two_subflows() {
         },
     );
     h.run_until(SimTime::from_secs(300));
-    let sink_bytes = h
-        .b
-        .connections()
-        .next()
-        .unwrap()
-        .app()
-        .unwrap()
-        .as_any()
-        .downcast_ref::<Sink>()
-        .unwrap()
-        .received;
+    let sink_bytes =
+        h.b.connections()
+            .next()
+            .unwrap()
+            .app()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Sink>()
+            .unwrap()
+            .received;
     assert_eq!(sink_bytes, total, "reliability under 15% loss, 2 subflows");
 }

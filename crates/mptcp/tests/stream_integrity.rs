@@ -124,16 +124,15 @@ fn run_scenario(seed: u64, loss: f64, total: u64, second_subflow: bool, blackhol
     }
     h.run_until(SimTime::from_secs(600));
 
-    let checker = h
-        .b
-        .connections()
-        .next()
-        .unwrap()
-        .app()
-        .unwrap()
-        .as_any()
-        .downcast_ref::<PatternChecker>()
-        .unwrap();
+    let checker =
+        h.b.connections()
+            .next()
+            .unwrap()
+            .app()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<PatternChecker>()
+            .unwrap();
     assert_eq!(
         checker.received, total,
         "seed {seed} loss {loss}: byte count"

@@ -444,7 +444,8 @@ pub fn encode_event(ev: &PmEvent) -> Bytes {
         }
         PmEvent::RemAddrReceived { token, addr_id } => {
             let mut b = fb(cmd::EV_REM_ADDR, 0, 0, KERNEL_PID);
-            b.attr_u32(attr::TOKEN, *token).attr_u8(attr::ADDR_ID, *addr_id);
+            b.attr_u32(attr::TOKEN, *token)
+                .attr_u8(attr::ADDR_ID, *addr_id);
             b.finish()
         }
         PmEvent::RtoExpired {
@@ -533,7 +534,8 @@ pub fn encode_command(seq: u32, c: &PmNlCommand) -> Bytes {
         }
         PmNlCommand::WithdrawAddr { token, addr_id } => {
             let mut b = fb(cmd::CMD_WITHDRAW_ADDR, NLM_F_REQUEST, seq, CONTROLLER_PID);
-            b.attr_u32(attr::TOKEN, *token).attr_u8(attr::ADDR_ID, *addr_id);
+            b.attr_u32(attr::TOKEN, *token)
+                .attr_u8(attr::ADDR_ID, *addr_id);
             b.finish()
         }
     }
@@ -793,7 +795,10 @@ mod tests {
             addr: Addr::new(192, 168, 0, 9),
             port: None,
         });
-        roundtrip_event(PmEvent::RemAddrReceived { token: 6, addr_id: 3 });
+        roundtrip_event(PmEvent::RemAddrReceived {
+            token: 6,
+            addr_id: 3,
+        });
         roundtrip_event(PmEvent::RtoExpired {
             token: 7,
             id: 0,
@@ -850,7 +855,10 @@ mod tests {
             addr_id: 5,
             addr: Addr::new(172, 16, 0, 1),
         });
-        roundtrip_command(PmNlCommand::WithdrawAddr { token: 9, addr_id: 5 });
+        roundtrip_command(PmNlCommand::WithdrawAddr {
+            token: 9,
+            addr_id: 5,
+        });
     }
 
     #[test]
@@ -886,17 +894,23 @@ mod tests {
     #[test]
     fn info_reply_roundtrip() {
         let infos = vec![
-            (0u8, TcpInfo {
-                srtt_us: 10_000,
-                pacing_rate: 5_000_000,
-                ..Default::default()
-            }),
-            (3u8, TcpInfo {
-                srtt_us: 40_000,
-                pacing_rate: 1_000_000,
-                backup: true,
-                ..Default::default()
-            }),
+            (
+                0u8,
+                TcpInfo {
+                    srtt_us: 10_000,
+                    pacing_rate: 5_000_000,
+                    ..Default::default()
+                },
+            ),
+            (
+                3u8,
+                TcpInfo {
+                    srtt_us: 40_000,
+                    pacing_rate: 1_000_000,
+                    backup: true,
+                    ..Default::default()
+                },
+            ),
         ];
         let bytes = encode_info_reply(42, 0xABCD, Some((1000, 2000)), &infos);
         match decode(&bytes).unwrap() {

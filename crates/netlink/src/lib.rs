@@ -23,8 +23,8 @@ pub mod wire;
 
 pub use channel::{LatencyModel, UserCtx, UserProcess};
 pub use family::{
-    cmd, attr, decode, encode_ack, encode_command, encode_event, encode_info_reply,
-    decode_tcp_info, encode_tcp_info, PmNlCommand, PmNlMessage, CONTROLLER_PID, FAMILY_ID,
+    attr, cmd, decode, decode_tcp_info, encode_ack, encode_command, encode_event,
+    encode_info_reply, encode_tcp_info, PmNlCommand, PmNlMessage, CONTROLLER_PID, FAMILY_ID,
     FAMILY_VERSION, KERNEL_PID,
 };
 pub use wire::{Attr, AttrIter, Frame, FrameBuilder, GenlMsgHdr, NlError, NlMsgHdr};

@@ -11,9 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use smapp_mptcp::{
-    ConnToken, PathManagerHook, PmAction, PmActions, PmEvent, StackView,
-};
+use smapp_mptcp::{ConnToken, PathManagerHook, PmAction, PmActions, PmEvent, StackView};
 use smapp_sim::Addr;
 
 #[derive(Debug, Default)]
@@ -313,9 +311,7 @@ mod tests {
         );
         let acts = actions.drain();
         assert_eq!(acts.len(), 1);
-        assert!(
-            matches!(acts[0], PmAction::OpenSubflow { dst, .. } if dst == R2)
-        );
+        assert!(matches!(acts[0], PmAction::OpenSubflow { dst, .. } if dst == R2));
     }
 
     #[test]
@@ -335,9 +331,7 @@ mod tests {
         let acts = actions.drain();
         assert_eq!(
             acts.iter()
-                .filter(
-                    |a| matches!(a, PmAction::OpenSubflow { src, .. } if *src == L2)
-                )
+                .filter(|a| matches!(a, PmAction::OpenSubflow { src, .. } if *src == L2))
                 .count(),
             1
         );
@@ -387,9 +381,7 @@ mod tests {
         let acts = actions.drain();
         assert_eq!(
             acts.iter()
-                .filter(
-                    |a| matches!(a, PmAction::OpenSubflow { src, .. } if *src == L2)
-                )
+                .filter(|a| matches!(a, PmAction::OpenSubflow { src, .. } if *src == L2))
                 .count(),
             1,
             "pair freed by sub_closed can be re-created"

@@ -262,7 +262,11 @@ impl Host {
     }
 
     /// Run a userspace callback and route its outputs.
-    fn run_user(&mut self, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut dyn UserProcess, &mut UserCtx<'_>)) {
+    fn run_user(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut dyn UserProcess, &mut UserCtx<'_>),
+    ) {
         let Some(user) = self.user.as_mut() else {
             return;
         };
@@ -321,9 +325,18 @@ impl Host {
                 self.schedule_boundary(ctx, reply, D_TO_USER);
             }
             other => {
-                let action = other.to_action().expect("remaining commands map to actions");
+                let action = other
+                    .to_action()
+                    .expect("remaining commands map to actions");
                 let ok = self.drive(ctx, Work::Action(action));
-                let ack = encode_ack(seq, if ok { 0 } else { 2 /* ENOENT */ });
+                let ack = encode_ack(
+                    seq,
+                    if ok {
+                        0
+                    } else {
+                        2 /* ENOENT */
+                    },
+                );
                 self.schedule_boundary(ctx, ack, D_TO_USER);
             }
         }

@@ -90,11 +90,7 @@ mod tests {
     fn unsubscribed_events_suppressed() {
         let mut pm = NetlinkPm::new();
         let mut actions = PmActions::new();
-        pm.on_event(
-            &PmEvent::ConnClosed { token: 1 },
-            &NullView,
-            &mut actions,
-        );
+        pm.on_event(&PmEvent::ConnClosed { token: 1 }, &NullView, &mut actions);
         assert!(!pm.has_pending());
         assert_eq!(pm.suppressed, 1);
     }

@@ -48,13 +48,7 @@ pub struct TwoPathNet {
 ///
 /// `fat` defaults to a high-capacity low-delay link so the interesting
 /// dynamics stay on the two access paths.
-pub fn two_path(
-    seed: u64,
-    client: Host,
-    server: Host,
-    cfg1: LinkCfg,
-    cfg2: LinkCfg,
-) -> TwoPathNet {
+pub fn two_path(seed: u64, client: Host, server: Host, cfg1: LinkCfg, cfg2: LinkCfg) -> TwoPathNet {
     let mut sim = Simulator::new(seed);
     let client_id = sim.add_node(Box::new(client));
     let server_id = sim.add_node(Box::new(server));
@@ -141,12 +135,20 @@ pub fn ecmp(seed: u64, client: Host, server: Host, path_cfgs: &[LinkCfg]) -> Ecm
     }
 
     {
-        let r1 = sim.node_mut(r1_id).as_any_mut().downcast_mut::<Router>().unwrap();
+        let r1 = sim
+            .node_mut(r1_id)
+            .as_any_mut()
+            .downcast_mut::<Router>()
+            .unwrap();
         r1.add_route("10.0.9.0/24".parse::<AddrPrefix>().unwrap(), r1_ups);
         r1.add_route("10.0.1.0/24".parse().unwrap(), vec![r1_c]);
     }
     {
-        let r2 = sim.node_mut(r2_id).as_any_mut().downcast_mut::<Router>().unwrap();
+        let r2 = sim
+            .node_mut(r2_id)
+            .as_any_mut()
+            .downcast_mut::<Router>()
+            .unwrap();
         r2.add_route("10.0.1.0/24".parse::<AddrPrefix>().unwrap(), r2_ups);
         r2.add_route("10.0.9.0/24".parse().unwrap(), vec![r2_s]);
     }
@@ -217,7 +219,10 @@ pub fn firewalled(
 
 /// Convenience: borrow a node as a [`Host`].
 pub fn host(sim: &Simulator, id: NodeId) -> &Host {
-    sim.node(id).as_any().downcast_ref::<Host>().expect("node is a Host")
+    sim.node(id)
+        .as_any()
+        .downcast_ref::<Host>()
+        .expect("node is a Host")
 }
 
 /// Convenience: mutably borrow a node as a [`Host`].

@@ -78,8 +78,16 @@ fn fullmesh_builds_two_subflows_over_two_paths() {
     // Both access links carried data packets.
     let l1 = sim.core.link_stats(net.link1, smapp_sim::Dir::AtoB);
     let l2 = sim.core.link_stats(net.link2, smapp_sim::Dir::AtoB);
-    assert!(l1.delivered > 100, "link1 carried packets: {}", l1.delivered);
-    assert!(l2.delivered > 100, "link2 carried packets: {}", l2.delivered);
+    assert!(
+        l1.delivered > 100,
+        "link1 carried packets: {}",
+        l1.delivered
+    );
+    assert!(
+        l2.delivered > 100,
+        "link2 carried packets: {}",
+        l2.delivered
+    );
 }
 
 #[test]
@@ -279,7 +287,11 @@ fn unsubscribed_controller_sees_nothing() {
     sim.run_until(SimTime::from_secs(30));
     let client = topo::host(&sim, net.client);
     assert_eq!(client.user_as::<Deaf>().unwrap().messages, 0);
-    assert_eq!(sink_bytes(&sim, net.server), 10_000, "data plane unaffected");
+    assert_eq!(
+        sink_bytes(&sim, net.server),
+        10_000,
+        "data plane unaffected"
+    );
 }
 
 #[test]

@@ -203,7 +203,8 @@ impl Node for Firewall {
                 self.flows.insert(key, now);
                 self.forwarded += 1;
                 ctx.send(outside, pkt);
-            } else if let std::collections::hash_map::Entry::Occupied(mut e) = self.flows.entry(key) {
+            } else if let std::collections::hash_map::Entry::Occupied(mut e) = self.flows.entry(key)
+            {
                 e.insert(now);
                 self.forwarded += 1;
                 ctx.send(inside, pkt);

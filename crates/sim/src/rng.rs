@@ -4,22 +4,38 @@
 //! seed. All stochastic behaviour — Bernoulli packet loss, random ephemeral
 //! ports, latency-model jitter — draws from it, so a `(scenario, seed)` pair
 //! fully determines a run.
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna), seeded through SplitMix64. It has no external
+//! dependencies, so simulation results are reproducible across toolchains
+//! and never silently change under a dependency upgrade.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// The simulation-wide random number generator.
+/// The simulation-wide random number generator (xoshiro256++).
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
     seed: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             seed,
         }
     }
@@ -29,6 +45,20 @@ impl SimRng {
         self.seed
     }
 
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
     /// Bernoulli trial: returns true with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
@@ -36,23 +66,33 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.unit_f64() < p
         }
     }
 
     /// Uniform value in `[lo, hi)`. Panics if the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.random_range(lo..hi)
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Rejection sampling over a multiple of `span` avoids modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high-quality bits → the full double-precision mantissa range.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// A random ephemeral TCP port in the Linux default range 32768..=60999.
     pub fn ephemeral_port(&mut self) -> u16 {
-        self.inner.random_range(32_768u16..=60_999)
+        self.range_u64(32_768, 61_000) as u16
     }
 
     /// Sample a log-normal distribution given the *median* and the shape
@@ -62,8 +102,8 @@ impl SimRng {
     /// right-skewed with a heavy tail, which a log-normal captures well.
     pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
         // Box-Muller transform; consumes two uniforms.
-        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = self.inner.random::<f64>();
+        let u1: f64 = self.unit_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         median * (sigma * z).exp()
     }
@@ -124,5 +164,14 @@ mod tests {
         let median = v[5_000];
         assert!((15.0..25.0).contains(&median), "median={median}");
         assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn unit_f64_stays_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x), "x={x}");
+        }
     }
 }

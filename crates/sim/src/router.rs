@@ -169,12 +169,14 @@ mod tests {
         let r1 = mk(1);
         let r2 = mk(2);
         let dst = Addr::new(10, 9, 9, 9);
-        let mapping =
-            |r: &Router| -> Vec<_> {
-                (0..32u16)
-                    .map(|s| r.select_egress(&pkt_with_ports(dst, 40_000 + s, 80)).unwrap())
-                    .collect()
-            };
+        let mapping = |r: &Router| -> Vec<_> {
+            (0..32u16)
+                .map(|s| {
+                    r.select_egress(&pkt_with_ports(dst, 40_000 + s, 80))
+                        .unwrap()
+                })
+                .collect()
+        };
         assert_ne!(mapping(&r1), mapping(&r2));
     }
 }

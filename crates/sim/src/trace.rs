@@ -139,9 +139,6 @@ mod tests {
             });
         }
         assert_eq!(c.events.len(), 2);
-        assert_eq!(
-            c.count_kind(|k| matches!(k, TraceKind::Enqueue { .. })),
-            2
-        );
+        assert_eq!(c.count_kind(|k| matches!(k, TraceKind::Enqueue { .. })), 2);
     }
 }

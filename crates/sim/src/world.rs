@@ -710,10 +710,8 @@ mod tests {
 
     #[test]
     fn full_loss_blocks_delivery() {
-        let (mut sim, a, _b) = two_hosts(
-            2,
-            LinkCfg::mbps_ms(10, 5).loss(LossModel::Bernoulli(1.0)),
-        );
+        let (mut sim, a, _b) =
+            two_hosts(2, LinkCfg::mbps_ms(10, 5).loss(LossModel::Bernoulli(1.0)));
         sim.run();
         let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
         assert_eq!(ping.got, 0);

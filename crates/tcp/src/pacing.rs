@@ -30,8 +30,8 @@ pub fn pacing_rate(cwnd_bytes: u64, srtt: Option<Duration>, in_slow_start: bool)
     };
     // rate = factor% * cwnd / srtt  (bytes per second)
     Some(
-        (cwnd_bytes as u128 * factor as u128 * 1_000_000_000u128
-            / (100u128 * srtt_ns as u128)) as u64,
+        (cwnd_bytes as u128 * factor as u128 * 1_000_000_000u128 / (100u128 * srtt_ns as u128))
+            as u64,
     )
 }
 

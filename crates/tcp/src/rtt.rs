@@ -78,7 +78,8 @@ impl RttEstimator {
     /// `None` before the first sample (callers fall back to the initial
     /// RTO of 1 s).
     pub fn rto_base(&self) -> Option<Duration> {
-        self.srtt.map(|srtt| srtt + GRANULARITY.max(self.rttvar * 4))
+        self.srtt
+            .map(|srtt| srtt + GRANULARITY.max(self.rttvar * 4))
     }
 }
 

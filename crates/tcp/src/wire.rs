@@ -315,8 +315,8 @@ impl TcpSegment {
         while i < data_offset {
             let kind = b[i];
             match kind {
-                0 => break,    // end of options
-                1 => i += 1,   // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 _ => {
                     if i + 1 >= data_offset {
                         return Err(WireError::BadOptionLength);
@@ -531,8 +531,7 @@ mod prop {
             any::<u16>().prop_map(TcpOption::Mss),
             (0u8..15).prop_map(TcpOption::WindowScale),
             Just(TcpOption::SackPermitted),
-            (any::<u32>(), any::<u32>())
-                .prop_map(|(val, ecr)| TcpOption::Timestamps { val, ecr }),
+            (any::<u32>(), any::<u32>()).prop_map(|(val, ecr)| TcpOption::Timestamps { val, ecr }),
             proptest::collection::vec(any::<u8>(), 0..18)
                 .prop_map(|v| TcpOption::Mptcp(Bytes::from(v))),
             (5u8..=253, proptest::collection::vec(any::<u8>(), 0..10))

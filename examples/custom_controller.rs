@@ -94,8 +94,10 @@ fn main() {
         conn: None,
         decisions: Vec::new(),
     };
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         None,

@@ -19,8 +19,10 @@ fn main() {
     const TRANSFER: u64 = 40_000_000;
 
     let controller = RefreshController::new(RefreshConfig::default());
-    let mut client = Host::new("client", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         None,

@@ -22,8 +22,10 @@ fn main() {
         rto_threshold: Duration::from_secs(1),
         backup_src: CLIENT_ADDR2, // the cellular interface
     });
-    let mut client = Host::new("smartphone", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("smartphone", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         Some(CLIENT_ADDR1), // start on WiFi

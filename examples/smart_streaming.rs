@@ -22,8 +22,10 @@ fn main() {
     const BLOCKS: u64 = 20;
 
     let controller = StreamController::new(StreamConfig::paper(CLIENT_ADDR2));
-    let mut client = Host::new("streamer", StackConfig::default())
-        .with_user(ControllerRuntime::boxed(controller), LatencyModel::idle_host());
+    let mut client = Host::new("streamer", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
     client.connect_at(
         SimTime::from_millis(10),
         Some(CLIENT_ADDR1),

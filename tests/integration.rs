@@ -140,8 +140,10 @@ fn interface_flap_remeshes_through_userspace_controller() {
     let mut sim = net.sim;
     // Flap the second interface: down at 2 s, up at 4 s.
     let if2 = net.client_if2;
-    sim.core.schedule_iface_admin(SimTime::from_secs(2), if2, false);
-    sim.core.schedule_iface_admin(SimTime::from_secs(4), if2, true);
+    sim.core
+        .schedule_iface_admin(SimTime::from_secs(2), if2, false);
+    sim.core
+        .schedule_iface_admin(SimTime::from_secs(4), if2, true);
     sim.run_until(SimTime::from_secs(90));
 
     let client_host = topo::host(&sim, net.client);
@@ -220,7 +222,13 @@ fn two_smart_clients_share_one_server() {
     // The laptop's ndiffports made 3 subflows; the phone stayed on one
     // (healthy path, no backup established).
     let laptop = topo::host(&sim, c2_id);
-    assert!(laptop.stack.connections().next().unwrap().subflow(2).is_some());
+    assert!(laptop
+        .stack
+        .connections()
+        .next()
+        .unwrap()
+        .subflow(2)
+        .is_some());
     let phone = topo::host(&sim, c1_id);
     let ctrl = controller_of::<BackupController>(phone).unwrap();
     assert!(ctrl.switchovers.is_empty());

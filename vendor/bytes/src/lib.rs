@@ -1,0 +1,406 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The smapp workspace is built in an environment with no access to
+//! crates.io, so this vendored crate re-implements the (small) subset of
+//! the `bytes` 1.x API that the workspace actually uses, with the same
+//! semantics:
+//!
+//! * [`Bytes`] — a cheaply cloneable, immutable, reference-counted byte
+//!   buffer supporting zero-copy [`Bytes::slice`].
+//! * [`BytesMut`] — a growable buffer that can be frozen into [`Bytes`].
+//! * [`BufMut`] — the append-style writer trait (`put_u8`, `put_u16`, …)
+//!   implemented by [`BytesMut`] and `Vec<u8>`.
+//!
+//! Only drop-in-compatible behaviour is provided; anything this workspace
+//! does not call is intentionally absent.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable slice of reference-counted bytes.
+///
+/// Cloning is an `Arc` bump; [`Bytes::slice`] shares the same backing
+/// allocation. This mirrors `bytes::Bytes` for the operations the smapp
+/// data plane performs (packet payloads are sliced, re-sliced and cloned
+/// on every hop).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (does not allocate a backing store per call).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A zero-copy sub-slice sharing this buffer's backing allocation.
+    ///
+    /// Panics if the range is out of bounds, like `bytes::Bytes::slice`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "range out of bounds: {begin}..{end} of {len}"
+        );
+        Bytes {
+            buf: Arc::clone(&self.buf),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let buf: Arc<[u8]> = v.into();
+        let end = buf.len();
+        Bytes { buf, start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes::from(v.into_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Self {
+        Bytes::from(v.vec)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_ref()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref().iter()
+    }
+}
+
+/// A growable byte buffer, frozen into [`Bytes`] once written.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes of capacity pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Ensure room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Append a byte slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Resize to `new_len`, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    /// Truncate to `len` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Remove all bytes.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { vec: v.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { vec: v }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::from(self.vec.clone()).fmt(f)
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.vec.extend(iter);
+    }
+}
+
+/// Append-style writer trait: big-endian `put_*` plus explicit `_le`
+/// variants, matching the subset of `bytes::BufMut` the codecs use.
+pub trait BufMut {
+    /// Append a raw byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+    /// Append a `u16` in network (big-endian) byte order.
+    fn put_u16(&mut self, n: u16) {
+        self.put_slice(&n.to_be_bytes());
+    }
+    /// Append a `u32` in network (big-endian) byte order.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+    /// Append a `u64` in network (big-endian) byte order.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+    /// Append a `u16` in little-endian byte order (Linux netlink framing).
+    fn put_u16_le(&mut self, n: u16) {
+        self.put_slice(&n.to_le_bytes());
+    }
+    /// Append a `u32` in little-endian byte order (Linux netlink framing).
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+    /// Append a `u64` in little-endian byte order (Linux netlink framing).
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.put_slice(&vec![val; cnt]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_backing_and_checks_bounds() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let ss = s.slice(..2);
+        assert_eq!(&ss[..], &[2, 3]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn bufmut_endianness() {
+        let mut m = BytesMut::new();
+        m.put_u16(0x0102);
+        m.put_u16_le(0x0102);
+        assert_eq!(&m[..], &[0x01, 0x02, 0x02, 0x01]);
+        assert_eq!(m.freeze(), Bytes::from(vec![0x01u8, 0x02, 0x02, 0x01]));
+    }
+}

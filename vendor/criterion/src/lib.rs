@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The smapp workspace is built without network access, so this vendored
+//! crate provides the subset of the Criterion API its `benches/` use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! benchmark groups with [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::throughput`], and [`Bencher::iter`] — backed by a
+//! simple wall-clock timer instead of Criterion's statistical machinery.
+//!
+//! Each benchmark warms up briefly, then runs the requested number of
+//! samples and prints `name  median  mean  min  max` per-iteration times
+//! (plus derived throughput when one was declared). The numbers are honest
+//! medians over real iterations; they are just not Criterion's
+//! bootstrapped confidence intervals.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Declared work-per-iteration, used to derive throughput from the
+/// measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver: owns defaults and prints results.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark (an anonymous group of one).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_bench(name, sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so results include throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (printing is per-benchmark; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per invocation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Brief warm-up so first-touch effects don't land in the samples.
+        let warmup = Instant::now();
+        while warmup.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = *b.samples.last().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let gib_s = n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  {gib_s:9.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let me_s = n as f64 / median.as_secs_f64() / 1e6;
+            format!("  {me_s:9.3} Melem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<44} median {median:>12?}  mean {mean:>12?}  min {min:>12?}  max {max:>12?}{tp}"
+    );
+}
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declare a benchmark group: a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point running each group.
+///
+/// Accepts and ignores `--bench`-style CLI arguments that cargo passes
+/// through, so `cargo bench` works with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
