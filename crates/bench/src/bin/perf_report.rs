@@ -1,0 +1,41 @@
+//! `perf_report` — the perf trajectory's measurement binary.
+//!
+//! Runs the fig2a / fig2c / fig3 macro scenarios under wall clocks and
+//! writes `BENCH_PR2.json` (wall time, events/sec, peak event-queue depth,
+//! and the fig2c speedup + trajectory-parity verdict against the `524cdc6`
+//! baseline recorded in `smapp_bench::perf`).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_report [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs reduced workloads (seconds, for CI liveness) and skips
+//! the baseline comparison; the default full mode is the configuration the
+//! PR-2 acceptance numbers come from. Exits non-zero if a full run's fig2c
+//! trajectory diverges from the baseline — a speedup that changes
+//! simulation results is a bug, not a speedup.
+
+use smapp_bench::perf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let report = perf::run_all(smoke);
+    print!("{}", report.render());
+
+    std::fs::write(&out, report.to_json()).expect("write report JSON");
+    println!("wrote {out}");
+
+    if report.fig2c_parity == Some(false) {
+        eprintln!("FATAL: fig2c trajectory diverged from the recorded baseline");
+        std::process::exit(1);
+    }
+}

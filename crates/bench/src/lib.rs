@@ -12,9 +12,16 @@
 //!
 //! Each binary prints plot-ready series (`label\tx\tF(x)` rows) plus a
 //! summary block; Criterion micro/macro benchmarks live under `benches/`.
+//!
+//! The `perf_report` binary ([`perf`]) measures simulator throughput on
+//! the fig2a/fig2c/fig3 macro scenarios (wall time, events/sec, peak
+//! event-queue depth), writes `BENCH_PR2.json`, and verifies that the
+//! fig2c per-seed trajectory is identical to the recorded `524cdc6`
+//! baseline.
 
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod pms;
 pub mod scenarios;
 pub mod stats;

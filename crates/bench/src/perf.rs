@@ -1,0 +1,294 @@
+//! The performance measurement harness behind the `perf_report` binary.
+//!
+//! Runs the repo's three macro scenarios (fig2a, fig2c, fig3) under wall
+//! clocks, reports simulator throughput (events/sec) and peak event-queue
+//! depth, and — for the fig2c 100 MB transfer — asserts *trajectory parity*
+//! with the recorded PR-2 baseline: an optimization that changes
+//! `RunSummary.events` or the completion time for any seed is a semantics
+//! change, not a speedup.
+//!
+//! The baseline block ([`FIG2C_BASELINE`]) was measured at commit
+//! `524cdc6` (the first tier-1-green commit) with this same harness logic,
+//! interleaving baseline and optimized binaries on one machine to cancel
+//! machine-load drift. Later perf PRs extend `BENCH_PR<n>.json` the same
+//! way: measure old and new interleaved, record both.
+
+use std::time::Instant;
+
+use crate::scenarios::{fig2a, fig2c, fig3};
+
+/// fig2c seeds measured into the baseline.
+pub const FIG2C_SEEDS: [u64; 3] = [100, 101, 102];
+
+/// Per-seed fig2c trajectory facts at the baseline commit, plus its
+/// aggregate throughput. `events` / `ended_at_ns` must reproduce exactly on
+/// every optimized build (same seed ⇒ same simulation).
+pub struct Fig2cBaseline {
+    /// Commit the baseline was measured at.
+    pub commit: &'static str,
+    /// `RunSummary.events` per seed, in [`FIG2C_SEEDS`] order.
+    pub events: [u64; 3],
+    /// Simulated completion time (ns) per seed.
+    pub ended_at_ns: [u64; 3],
+    /// Aggregate events/sec over the three seeds (mean of nine interleaved
+    /// runs on the measurement machine).
+    pub events_per_sec: f64,
+}
+
+/// Baseline measurement for the fig2c macro scenario (100 MB, 5 subflows,
+/// refresh controller).
+pub const FIG2C_BASELINE: Fig2cBaseline = Fig2cBaseline {
+    commit: "524cdc6",
+    events: [1_011_738, 947_303, 983_405],
+    ended_at_ns: [29_079_104_704, 28_335_975_608, 30_288_957_352],
+    events_per_sec: 2_199_931.0,
+};
+
+/// One scenario's measurement.
+pub struct ScenarioPerf {
+    /// Scenario label (`fig2a`, `fig2c`, `fig3`).
+    pub name: &'static str,
+    /// Workload description for the report.
+    pub workload: String,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Total simulator events processed.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Maximum event-queue depth over all runs.
+    pub peak_queue: usize,
+    /// Simulated seconds covered.
+    pub sim_s: f64,
+}
+
+/// Full report: the three scenarios plus the fig2c-vs-baseline verdict.
+pub struct PerfReport {
+    /// Smoke mode (reduced sizes; no baseline comparison).
+    pub smoke: bool,
+    /// Per-scenario measurements.
+    pub scenarios: Vec<ScenarioPerf>,
+    /// fig2c speedup over [`FIG2C_BASELINE`] (full mode only).
+    pub fig2c_speedup: Option<f64>,
+    /// Whether every fig2c seed reproduced the baseline trajectory
+    /// (full mode only).
+    pub fig2c_parity: Option<bool>,
+    /// Human-readable parity details (mismatches, if any).
+    pub parity_notes: Vec<String>,
+}
+
+/// Run the fig2a macro scenario (backup switchover, 2 MB transfer).
+pub fn run_fig2a(smoke: bool) -> ScenarioPerf {
+    let p = fig2a::Params {
+        transfer: if smoke { 200_000 } else { 2_000_000 },
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let (summary, _results) = fig2a::run_instrumented(&p);
+    let wall = t0.elapsed().as_secs_f64();
+    ScenarioPerf {
+        name: "fig2a",
+        workload: format!("{} B transfer, 30% loss onset at 1 s", p.transfer),
+        wall_s: wall,
+        events: summary.events,
+        events_per_sec: summary.events as f64 / wall,
+        peak_queue: summary.peak_queue,
+        sim_s: summary.ended_at.as_secs_f64(),
+    }
+}
+
+/// Run the fig2c macro scenario (paper-size 100 MB over 4 ECMP paths) and
+/// check trajectory parity against the baseline.
+pub fn run_fig2c(smoke: bool) -> (ScenarioPerf, Option<bool>, Vec<String>) {
+    let p = fig2c::Params {
+        transfer: if smoke { 5_000_000 } else { 100_000_000 },
+        ..Default::default()
+    };
+    let seeds: &[u64] = if smoke {
+        &FIG2C_SEEDS[..1]
+    } else {
+        &FIG2C_SEEDS
+    };
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    let mut sim_s = 0f64;
+    let mut parity = true;
+    let mut notes = Vec::new();
+    let t0 = Instant::now();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let (summary, _used) = fig2c::run_one_instrumented(&p, seed);
+        events += summary.events;
+        peak = peak.max(summary.peak_queue);
+        sim_s += summary.ended_at.as_secs_f64();
+        if !smoke {
+            let want_events = FIG2C_BASELINE.events[i];
+            let want_end = FIG2C_BASELINE.ended_at_ns[i];
+            if summary.events != want_events {
+                parity = false;
+                notes.push(format!(
+                    "seed {seed}: events {} != baseline {want_events}",
+                    summary.events
+                ));
+            }
+            if summary.ended_at.as_nanos() != want_end {
+                parity = false;
+                notes.push(format!(
+                    "seed {seed}: ended_at {} ns != baseline {want_end} ns",
+                    summary.ended_at.as_nanos()
+                ));
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let perf = ScenarioPerf {
+        name: "fig2c",
+        workload: format!(
+            "{} B transfer x {} seed(s), 5 subflows, refresh controller, 4 ECMP paths",
+            p.transfer,
+            seeds.len()
+        ),
+        wall_s: wall,
+        events,
+        events_per_sec: events as f64 / wall,
+        peak_queue: peak,
+        sim_s,
+    };
+    (perf, (!smoke).then_some(parity), notes)
+}
+
+/// Run the fig3 macro scenario (consecutive GETs, kernel path manager).
+pub fn run_fig3(smoke: bool) -> ScenarioPerf {
+    let p = fig3::Params {
+        gets: if smoke { 20 } else { 300 },
+        manager: fig3::Manager::Kernel,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let (summary, _cdf, completed) = fig3::run_instrumented(&p);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(completed, p.gets, "fig3 workload must complete");
+    ScenarioPerf {
+        name: "fig3",
+        workload: format!("{} consecutive 512 KB GETs, kernel PM", p.gets),
+        wall_s: wall,
+        events: summary.events,
+        events_per_sec: summary.events as f64 / wall,
+        peak_queue: summary.peak_queue,
+        sim_s: summary.ended_at.as_secs_f64(),
+    }
+}
+
+/// Run everything.
+pub fn run_all(smoke: bool) -> PerfReport {
+    let a = run_fig2a(smoke);
+    let (c, parity, notes) = run_fig2c(smoke);
+    let f = run_fig3(smoke);
+    let speedup = (!smoke).then(|| c.events_per_sec / FIG2C_BASELINE.events_per_sec);
+    PerfReport {
+        smoke,
+        scenarios: vec![a, c, f],
+        fig2c_speedup: speedup,
+        fig2c_parity: parity,
+        parity_notes: notes,
+    }
+}
+
+impl PerfReport {
+    /// Serialize to the `BENCH_PR2.json` schema (hand-rolled: the workspace
+    /// deliberately carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str(&format!(
+            "  \"baseline\": {{\"commit\": \"{}\", \"fig2c_events_per_sec\": {:.0}}},\n",
+            FIG2C_BASELINE.commit, FIG2C_BASELINE.events_per_sec
+        ));
+        s.push_str("  \"scenarios\": [\n");
+        for (i, p) in self.scenarios.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"wall_s\": {:.4}, \
+                 \"events\": {}, \"events_per_sec\": {:.0}, \"peak_queue\": {}, \
+                 \"sim_s\": {:.3}}}{}\n",
+                p.name,
+                p.workload,
+                p.wall_s,
+                p.events,
+                p.events_per_sec,
+                p.peak_queue,
+                p.sim_s,
+                if i + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        match self.fig2c_speedup {
+            Some(x) => s.push_str(&format!("  \"fig2c_speedup_vs_baseline\": {x:.3},\n")),
+            None => s.push_str("  \"fig2c_speedup_vs_baseline\": null,\n"),
+        }
+        match self.fig2c_parity {
+            Some(p) => s.push_str(&format!("  \"fig2c_trajectory_parity\": {p}\n")),
+            None => s.push_str("  \"fig2c_trajectory_parity\": null\n"),
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Render the human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "perf_report ({} mode)\n",
+            if self.smoke { "smoke" } else { "full" }
+        ));
+        s.push_str("scenario  wall_s    events      events/sec  peak_queue  sim_s\n");
+        for p in &self.scenarios {
+            s.push_str(&format!(
+                "{:<9} {:<9.3} {:<11} {:<11.0} {:<11} {:.2}\n",
+                p.name, p.wall_s, p.events, p.events_per_sec, p.peak_queue, p.sim_s
+            ));
+        }
+        if let Some(x) = self.fig2c_speedup {
+            s.push_str(&format!(
+                "fig2c vs {} baseline: {:.2}x events/sec\n",
+                FIG2C_BASELINE.commit, x
+            ));
+        }
+        if let Some(parity) = self.fig2c_parity {
+            s.push_str(&format!(
+                "fig2c trajectory parity: {}\n",
+                if parity { "IDENTICAL" } else { "MISMATCH" }
+            ));
+            for n in &self.parity_notes {
+                s.push_str(&format!("  {n}\n"));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_runs_and_serializes() {
+        let r = run_all(true);
+        assert_eq!(r.scenarios.len(), 3);
+        assert!(r.scenarios.iter().all(|s| s.events > 0));
+        assert!(r.scenarios.iter().all(|s| s.peak_queue > 0));
+        assert!(r.fig2c_speedup.is_none());
+        let json = r.to_json();
+        assert!(json.contains("\"fig2c_trajectory_parity\": null"));
+        assert!(json.contains("\"name\": \"fig2c\""));
+        // Crude structural check: braces balance.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "JSON braces balance"
+        );
+    }
+}

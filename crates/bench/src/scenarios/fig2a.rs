@@ -65,6 +65,12 @@ pub struct Results {
 
 /// Run the experiment.
 pub fn run(p: &Params) -> Results {
+    run_instrumented(p).1
+}
+
+/// Like [`run`], additionally returning the simulator's [`smapp_sim::RunSummary`]
+/// (event count, peak queue depth) for the perf harness.
+pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     let controller = BackupController::new(BackupConfig {
         rto_threshold: p.rto_threshold,
         backup_src: CLIENT_ADDR2,
@@ -135,12 +141,15 @@ pub fn run(p: &Params) -> Results {
         })
         .unwrap_or(0);
     let completed_at = (delivered >= p.transfer).then(|| summary.ended_at.as_secs_f64());
-    Results {
-        rows,
-        switch_at,
-        delivered,
-        completed_at,
-    }
+    (
+        summary,
+        Results {
+            rows,
+            switch_at,
+            delivered,
+            completed_at,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -66,6 +66,15 @@ pub fn paper_paths() -> Vec<LinkCfg> {
 
 /// Run one seed; returns `(completion seconds, distinct paths used)`.
 pub fn run_one(p: &Params, seed: u64) -> (f64, usize) {
+    let (summary, used) = run_one_instrumented(p, seed);
+    (summary.ended_at.as_secs_f64(), used)
+}
+
+/// Like [`run_one`], returning the full [`smapp_sim::RunSummary`] (event count, peak
+/// queue depth) alongside the distinct-paths count — the perf harness uses
+/// the event count both for events/sec and to assert that optimized builds
+/// reproduce the baseline trajectory exactly.
+pub fn run_one_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, usize) {
     let mut client = match p.manager {
         Manager::Ndiffports => {
             Host::new("client", StackConfig::default()).with_pm(Box::new(NdiffportsPm::new(p.n)))
@@ -114,7 +123,7 @@ pub fn run_one(p: &Params, seed: u64) -> (f64, usize) {
             sim.core.link_stats(l, smapp_sim::Dir::AtoB).bytes_delivered > p.transfer / 100
         })
         .count();
-    (summary.ended_at.as_secs_f64(), used)
+    (summary, used)
 }
 
 /// Results of a Fig. 2c series.

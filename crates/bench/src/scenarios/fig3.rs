@@ -63,6 +63,13 @@ impl Default for Params {
 /// Run one series; returns the CAPA→JOIN deltas (microseconds) plus the
 /// number of completed GET cycles.
 pub fn run(p: &Params) -> (Cdf, u32) {
+    let (_, cdf, completed) = run_instrumented(p);
+    (cdf, completed)
+}
+
+/// Like [`run`], additionally returning the simulator's [`smapp_sim::RunSummary`]
+/// (event count, peak queue depth) for the perf harness.
+pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Cdf, u32) {
     let latency = if p.stressed {
         LatencyModel::stressed_host()
     } else {
@@ -102,7 +109,7 @@ pub fn run(p: &Params) -> (Cdf, u32) {
     let mut sim = net.sim;
     sim.core
         .set_trace(Box::new(HandshakeTraceSink::new(net.client)));
-    sim.run_until(SimTime::from_secs(3600));
+    let summary = sim.run_until(SimTime::from_secs(3600));
 
     let sink = sim.core.take_trace().expect("sink installed");
     let deltas_us: Vec<f64> = sink
@@ -114,7 +121,7 @@ pub fn run(p: &Params) -> (Cdf, u32) {
         .map(|s| s * 1e6)
         .collect();
     let completed = progress.borrow().completed;
-    (Cdf::new(deltas_us), completed)
+    (summary, Cdf::new(deltas_us), completed)
 }
 
 #[cfg(test)]

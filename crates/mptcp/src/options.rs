@@ -309,11 +309,9 @@ impl MpOption {
                     hmac: be64(&p[2..10]),
                     nonce: be32(&p[10..14]),
                 }),
-                22 => {
-                    let mut hmac = [0u8; 20];
-                    hmac.copy_from_slice(&p[2..22]);
-                    Ok(MpOption::JoinAck { hmac })
-                }
+                22 => Ok(MpOption::JoinAck {
+                    hmac: p[2..22].try_into().expect("length checked"),
+                }),
                 l => Err(MpParseError::BadLength {
                     subtype: st,
                     len: l,
@@ -378,7 +376,7 @@ impl MpOption {
                     return Err(MpParseError::Truncated);
                 }
                 Ok(MpOption::RemoveAddr {
-                    addr_ids: p[1..].to_vec(),
+                    addr_ids: Vec::from(&p[1..]),
                 })
             }
             subtype::MP_PRIO => match p.len() {

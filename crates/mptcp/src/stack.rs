@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use smapp_sim::{Addr, IcmpMsg, Packet, PROTO_ICMP, PROTO_TCP};
+use smapp_sim::{Addr, FxHashMap, FxHashSet, IcmpMsg, Packet, PROTO_ICMP, PROTO_TCP};
 use smapp_tcp::{SeqNum, TcpFlags, TcpHeader, TcpInfo, TcpSegment};
 
 use crate::app::App;
@@ -42,6 +42,28 @@ pub fn timer_token(kind: TimerKind, conn_idx: usize, sub: SubflowId, gen: u64) -
     (k << 60) | ((conn_idx as u64 & 0xFF_FFFF) << 36) | ((sub as u64) << 28) | (gen & 0x0FFF_FFFF)
 }
 
+/// Low bits of a stack timer token holding its generation counter.
+pub const TIMER_GEN_MASK: u64 = 0x0FFF_FFFF;
+
+/// The token's *identity* — (kind, connection, subflow) with the generation
+/// masked off. Stable across rearms of the same logical timer.
+pub fn timer_identity(t: u64) -> u64 {
+    t & !TIMER_GEN_MASK
+}
+
+/// Whether rearming a timer with this token supersedes every older
+/// generation of the same [`timer_identity`]. True for RTO and MetaFin
+/// (the stack bumps their per-identity generation on each arm and ignores
+/// stale firings), so a host may cancel the superseded simulator timer.
+/// False for App timers: applications choose their own tokens and may keep
+/// any number outstanding.
+pub fn timer_rearm_supersedes(t: u64) -> bool {
+    matches!(
+        parse_timer_token(t),
+        Some((TimerKind::Rto | TimerKind::MetaFin, ..))
+    )
+}
+
 /// Unpack a stack timer token.
 pub fn parse_timer_token(t: u64) -> Option<(TimerKind, usize, SubflowId, u64)> {
     let kind = match t >> 60 {
@@ -68,13 +90,14 @@ pub struct HostStack {
     pub cfg: StackConfig,
     conns: Vec<Option<Connection>>,
     /// Demux: four-tuple (local perspective) -> (conn slot, subflow id).
-    flows: HashMap<FourTuple, (usize, SubflowId)>,
+    /// Fx-hashed: hit once per received packet.
+    flows: FxHashMap<FourTuple, (usize, SubflowId)>,
     /// Demux: our token -> conn slot (for MP_JOIN and PM commands).
-    by_token: HashMap<ConnToken, usize>,
+    by_token: FxHashMap<ConnToken, usize>,
     listeners: HashMap<u16, AppFactory>,
     /// Local addresses and their up/down state (host keeps this current).
     local_addrs: Vec<(Addr, bool)>,
-    used_ports: std::collections::HashSet<(Addr, u16)>,
+    used_ports: FxHashSet<(Addr, u16)>,
     /// Events awaiting pickup by the host's path manager.
     events: Vec<PmEvent>,
     /// Count of RSTs sent to unknown flows (diagnostics).
@@ -87,11 +110,11 @@ impl HostStack {
         HostStack {
             cfg,
             conns: Vec::new(),
-            flows: HashMap::new(),
-            by_token: HashMap::new(),
+            flows: FxHashMap::default(),
+            by_token: FxHashMap::default(),
             listeners: HashMap::new(),
             local_addrs: Vec::new(),
-            used_ports: std::collections::HashSet::new(),
+            used_ports: FxHashSet::default(),
             events: Vec::new(),
             rst_sent: 0,
         }

@@ -18,19 +18,19 @@
 //! frames cross the user/kernel boundary with sampled latency — the cost
 //! Fig. 3 measures.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use bytes::Bytes;
 use smapp_mptcp::{
-    App, ConnToken, HostStack, OutPacket, PathManagerHook, PmAction, PmActions, StackConfig,
-    StackEnv,
+    timer_identity, timer_rearm_supersedes, App, ConnToken, HostStack, OutPacket, PathManagerHook,
+    PmAction, PmActions, StackConfig, StackEnv,
 };
 use smapp_netlink::{
     decode, encode_ack, encode_info_reply, LatencyModel, PmNlCommand, PmNlMessage, UserCtx,
     UserProcess,
 };
-use smapp_sim::{Addr, Ctx, IfaceId, Node, Packet, SimRng, SimTime};
+use smapp_sim::{Addr, Ctx, FxHashMap, IfaceId, Node, Packet, SimRng, SimTime, TimerHandle};
 
 use crate::netlink_pm::NetlinkPm;
 
@@ -59,13 +59,15 @@ enum Work {
 /// `(when, source address, destination, port, app)`.
 type ScheduledConnect = (SimTime, Option<Addr>, Addr, u16, Option<Box<dyn App>>);
 
-/// Outputs of one stack invocation.
-struct StackOut {
+/// Reusable buffers for [`Host::drive`], so the per-event hot path does not
+/// re-allocate its scratch vectors for every packet/timer (they are taken
+/// at entry and put back, keeping their capacity, on exit).
+#[derive(Default)]
+struct DriveScratch {
+    work: VecDeque<Work>,
     packets: Vec<OutPacket>,
     timers: Vec<(Duration, u64)>,
     connects: Vec<smapp_mptcp::ConnectRequest>,
-    stop: bool,
-    action_ok: bool,
 }
 
 /// One simulated multihomed endpoint.
@@ -80,10 +82,14 @@ pub struct Host {
     pub user: Option<Box<dyn UserProcess>>,
     /// Boundary latency applied per netlink crossing.
     pub latency: LatencyModel,
-    addr_iface: HashMap<Addr, IfaceId>,
-    pending: HashMap<u64, Bytes>,
+    addr_iface: FxHashMap<Addr, IfaceId>,
+    /// Live simulator-timer handle per stack-timer identity (token with the
+    /// generation bits masked off), for cancel-on-rearm.
+    stack_timers: FxHashMap<u64, TimerHandle>,
+    pending: FxHashMap<u64, Bytes>,
     next_pending: u64,
     connects: Vec<ScheduledConnect>,
+    scratch: DriveScratch,
     /// Netlink frames that failed to decode at the kernel (diagnostics).
     pub malformed_commands: u64,
 }
@@ -98,10 +104,12 @@ impl Host {
             pm: Box::new(smapp_mptcp::NoopPm),
             user: None,
             latency: LatencyModel::Zero,
-            addr_iface: HashMap::new(),
-            pending: HashMap::new(),
+            addr_iface: FxHashMap::default(),
+            stack_timers: FxHashMap::default(),
+            pending: FxHashMap::default(),
             next_pending: 0,
             connects: Vec::new(),
+            scratch: DriveScratch::default(),
             malformed_commands: 0,
         }
     }
@@ -144,8 +152,25 @@ impl Host {
     }
 
     /// Run one work item through the stack, then the kernel-PM loop.
-    fn run_stack(&mut self, rng: &mut SimRng, now: SimTime, work: Work) -> StackOut {
-        let mut env = StackEnv::new(now, rng);
+    /// Outputs are *appended* to the buffers handed in (which become the
+    /// stack env's), preserving emission order across batched work items.
+    fn run_stack(
+        &mut self,
+        rng: &mut SimRng,
+        now: SimTime,
+        work: Work,
+        packets: &mut Vec<OutPacket>,
+        timers: &mut Vec<(Duration, u64)>,
+        connects: &mut Vec<smapp_mptcp::ConnectRequest>,
+    ) -> (bool, bool) {
+        let mut env = StackEnv {
+            now,
+            rng,
+            out: std::mem::take(packets),
+            timers: std::mem::take(timers),
+            connects: std::mem::take(connects),
+            stop: false,
+        };
         let mut action_ok = true;
         match work {
             Work::Packet(p) => self.stack.on_packet(&mut env, &p),
@@ -177,20 +202,10 @@ impl Host {
                 self.stack.apply_action(&mut env, &a);
             }
         }
-        let StackEnv {
-            out,
-            timers,
-            connects,
-            stop,
-            ..
-        } = env;
-        StackOut {
-            packets: out,
-            timers,
-            connects,
-            stop,
-            action_ok,
-        }
+        *packets = env.out;
+        *timers = env.timers;
+        *connects = env.connects;
+        (env.stop, action_ok)
     }
 
     /// Feed a work item (and any follow-up connects) through the stack,
@@ -198,23 +213,23 @@ impl Host {
     /// outbox toward userspace.
     fn drive(&mut self, ctx: &mut Ctx<'_>, work: Work) -> bool {
         let now = ctx.now();
-        let mut queue: VecDeque<Work> = VecDeque::new();
+        let mut queue = std::mem::take(&mut self.scratch.work);
+        let mut packets = std::mem::take(&mut self.scratch.packets);
+        let mut timers = std::mem::take(&mut self.scratch.timers);
+        let mut connects = std::mem::take(&mut self.scratch.connects);
         queue.push_back(work);
-        let mut packets = Vec::new();
-        let mut timers = Vec::new();
         let mut stop = false;
         let mut first_action_ok = true;
         let mut first = true;
         while let Some(w) = queue.pop_front() {
-            let out = self.run_stack(ctx.rng(), now, w);
+            let (s, action_ok) =
+                self.run_stack(ctx.rng(), now, w, &mut packets, &mut timers, &mut connects);
             if first {
-                first_action_ok = out.action_ok;
+                first_action_ok = action_ok;
                 first = false;
             }
-            packets.extend(out.packets);
-            timers.extend(out.timers);
-            stop |= out.stop;
-            for c in out.connects {
+            stop |= s;
+            for c in connects.drain(..) {
                 queue.push_back(Work::Connect {
                     src: c.src,
                     dst: c.dst,
@@ -223,14 +238,25 @@ impl Host {
                 });
             }
         }
-        for p in packets {
+        for p in packets.drain(..) {
             if let Some(&iface) = self.addr_iface.get(&p.src) {
                 ctx.send(iface, Packet::tcp(p.src, p.dst, p.seg));
             }
         }
-        for (d, t) in timers {
-            ctx.set_timer_after(d, t);
+        for (d, t) in timers.drain(..) {
+            let handle = ctx.set_timer_after(d, t);
+            if timer_rearm_supersedes(t) {
+                // Rearming supersedes any previous generation of the same
+                // timer: cancel it so the queue tracks live work.
+                if let Some(old) = self.stack_timers.insert(timer_identity(t), handle) {
+                    ctx.cancel_timer(old);
+                }
+            }
         }
+        self.scratch.work = queue;
+        self.scratch.packets = packets;
+        self.scratch.timers = timers;
+        self.scratch.connects = connects;
         if stop {
             ctx.stop();
         }
@@ -382,6 +408,11 @@ impl Node for Host {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token >> 60 {
             1..=3 => {
+                if timer_rearm_supersedes(token) {
+                    // This firing is the live generation (older ones were
+                    // cancelled on rearm); drop the bookkeeping entry.
+                    self.stack_timers.remove(&timer_identity(token));
+                }
                 self.drive(ctx, Work::StackTimer(token));
             }
             4 => {

@@ -1,0 +1,292 @@
+//! The simulator's event queue: a calendar queue with an overflow heap.
+//!
+//! The run loop's innermost operations are "schedule an event a short time
+//! from now" and "pop the earliest event". A single `BinaryHeap` pays
+//! `O(log n)` sifts (moving whole [`Scheduled`] entries, packets included)
+//! on every push and pop. Almost all events in this simulator land within a
+//! few link delays of `now`, so [`EventQueue`] keeps a ring of fixed-width
+//! time buckets in front of the heap:
+//!
+//! * pushes into the near future append to an unsorted bucket — `O(1)`;
+//! * pushes inside the already-open bucket go to a (tiny) `current` heap;
+//! * far-future events (RTO timers, scripted scenario changes) overflow to
+//!   a regular binary heap and migrate into the ring as the wheel turns.
+//!
+//! Ordering is **exactly** the `(at, seq)` order a single heap would
+//! produce: the structures partition time (`current` < ring < overflow),
+//! and each bucket is heapified before it is drained. Determinism is the
+//! simulator's core contract; `queue_orders_like_reference` in the tests
+//! checks this against a plain-heap reference model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Log2 of the bucket width in nanoseconds (2^20 ns ≈ 1.05 ms — around one
+/// full-size-packet serialization time on the paper's 8 Mb/s paths).
+const BUCKET_SHIFT: u32 = 20;
+/// Number of ring buckets. 64 buckets × ~1 ms ≈ 67 ms of near future, which
+/// covers queueing + serialization + propagation on the paper's topologies;
+/// only RTO-scale timers overflow.
+const NUM_BUCKETS: usize = 64;
+
+/// An entry in the event queue. Ties are broken by insertion order (`seq`)
+/// so the simulation is fully deterministic.
+pub(crate) struct Scheduled<E> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Calendar queue over [`Scheduled`] entries; see the module docs.
+pub(crate) struct EventQueue<E> {
+    /// Events with `at < open_end`, heap-ordered. The only structure pops
+    /// come from.
+    current: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Unsorted buckets; bucket `(head + k) % NUM_BUCKETS` covers times
+    /// `[open_end + k·W, open_end + (k+1)·W)`.
+    ring: Vec<Vec<Scheduled<E>>>,
+    /// Ring bucket that will be opened next.
+    head: usize,
+    /// Boundary between `current` and the ring, in ns (multiple of W).
+    open_end: u64,
+    /// Entries living in the ring (not `current`, not `overflow`).
+    ring_len: usize,
+    /// Far future: `at >= open_end + NUM_BUCKETS·W`.
+    overflow: BinaryHeap<Reverse<Scheduled<E>>>,
+    len: usize,
+    peak_len: usize,
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            current: BinaryHeap::new(),
+            ring: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            head: 0,
+            open_end: bucket_width(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// Entries currently queued (live and lazily-cancelled alike).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// High-water mark of [`EventQueue::len`] since construction.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    pub fn push(&mut self, at: SimTime, seq: u64, ev: E) {
+        let entry = Scheduled { at, seq, ev };
+        let ns = at.as_nanos();
+        if ns < self.open_end {
+            self.current.push(Reverse(entry));
+        } else {
+            let k = (ns - self.open_end) >> BUCKET_SHIFT;
+            if (k as usize) < NUM_BUCKETS {
+                self.ring[(self.head + k as usize) % NUM_BUCKETS].push(entry);
+                self.ring_len += 1;
+            } else {
+                self.overflow.push(Reverse(entry));
+            }
+        }
+        self.len += 1;
+        if self.len > self.peak_len {
+            self.peak_len = self.len;
+        }
+    }
+
+    /// Time of the earliest entry, advancing the wheel as needed.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.prepare_current();
+        self.current.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Remove and return the earliest entry (exact `(at, seq)` order).
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.prepare_current();
+        let Reverse(s) = self.current.pop()?;
+        self.len -= 1;
+        Some(s)
+    }
+
+    /// Make `current` hold the globally earliest entry (if any exist).
+    fn prepare_current(&mut self) {
+        while self.current.is_empty() && self.len > 0 {
+            if self.ring_len == 0 {
+                // Everything lives in the overflow heap: fast-forward the
+                // wheel to the overflow head instead of stepping bucket by
+                // bucket through empty time.
+                let target = self.overflow.peek().map(|Reverse(s)| s.at.as_nanos());
+                if let Some(t) = target {
+                    let aligned = (t >> BUCKET_SHIFT) << BUCKET_SHIFT;
+                    if aligned > self.open_end {
+                        self.open_end = aligned;
+                    }
+                    self.refill_from_overflow();
+                }
+            }
+            self.open_next_bucket();
+        }
+    }
+
+    /// Open the bucket at `head`: heapify its entries into `current` and
+    /// advance the wheel by one width.
+    fn open_next_bucket(&mut self) {
+        let bucket = &mut self.ring[self.head];
+        self.ring_len -= bucket.len();
+        for e in bucket.drain(..) {
+            self.current.push(Reverse(e));
+        }
+        self.head = (self.head + 1) % NUM_BUCKETS;
+        self.open_end += bucket_width();
+        self.refill_from_overflow();
+    }
+
+    /// Pull overflow entries that now fall inside the ring's horizon.
+    fn refill_from_overflow(&mut self) {
+        let horizon = self
+            .open_end
+            .saturating_add(NUM_BUCKETS as u64 * bucket_width());
+        while let Some(Reverse(s)) = self.overflow.peek() {
+            let ns = s.at.as_nanos();
+            if ns >= horizon {
+                break;
+            }
+            let Reverse(s) = self.overflow.pop().unwrap();
+            debug_assert!(ns >= self.open_end, "overflow entry behind the wheel");
+            let k = ((ns - self.open_end) >> BUCKET_SHIFT) as usize;
+            self.ring[(self.head + k) % NUM_BUCKETS].push(s);
+            self.ring_len += 1;
+        }
+    }
+}
+
+const fn bucket_width() -> u64 {
+    1 << BUCKET_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    /// Reference model: one binary heap.
+    struct Reference {
+        heap: BinaryHeap<Reverse<Scheduled<u32>>>,
+    }
+    impl Reference {
+        fn push(&mut self, at: SimTime, seq: u64, ev: u32) {
+            self.heap.push(Reverse(Scheduled { at, seq, ev }));
+        }
+        fn pop(&mut self) -> Option<(SimTime, u64, u32)> {
+            self.heap.pop().map(|Reverse(s)| (s.at, s.seq, s.ev))
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), 1, "b");
+        q.push(SimTime::from_millis(5), 0, "a");
+        q.push(SimTime::from_millis(1), 2, "first");
+        q.push(SimTime::from_secs(10), 3, "far");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.ev)).collect();
+        assert_eq!(order, ["first", "a", "b", "far"]);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peak_len(), 4);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 0, ());
+        q.push(SimTime::from_micros(10), 1, ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
+        assert_eq!(q.pop().unwrap().at, SimTime::from_micros(10));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    /// Randomized interleaving of pushes (including pushes at the time of
+    /// the last pop, as zero-delay events do) must match a plain heap.
+    #[test]
+    fn queue_orders_like_reference() {
+        for seed in 0..20u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut q = EventQueue::new();
+            let mut r = Reference {
+                heap: BinaryHeap::new(),
+            };
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let mut ev = 0u32;
+            for _round in 0..200 {
+                // A burst of pushes at `now + delta` for mixed deltas:
+                // sub-bucket, intra-ring, and far-future.
+                for _ in 0..(rng.next_u64() % 8) {
+                    let delta = match rng.next_u64() % 4 {
+                        0 => rng.next_u64() % 1_000,                    // same bucket
+                        1 => rng.next_u64() % 3_000_000,                // near ring
+                        2 => rng.next_u64() % 60_000_000,               // across ring
+                        _ => 100_000_000 + rng.next_u64() % 2e9 as u64, // overflow
+                    };
+                    let at = SimTime::from_nanos(now + delta);
+                    q.push(at, seq, ev);
+                    r.push(at, seq, ev);
+                    seq += 1;
+                    ev += 1;
+                }
+                // Pop a few and compare.
+                for _ in 0..(rng.next_u64() % 6) {
+                    let got = q.pop().map(|s| (s.at, s.seq, s.ev));
+                    let want = r.pop();
+                    assert_eq!(got, want, "seed {seed}");
+                    if let Some((at, ..)) = got {
+                        now = at.as_nanos();
+                    }
+                }
+            }
+            // Drain.
+            loop {
+                let got = q.pop().map(|s| (s.at, s.seq, s.ev));
+                let want = r.pop();
+                assert_eq!(got, want, "seed {seed} drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -289,7 +289,7 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut WCtx<'_>, token: u64) {
             let (_, pkt) = self.sends[token as usize].clone();
-            let (iface, _) = ctx.my_ifaces().into_iter().next().unwrap();
+            let (iface, _) = ctx.my_ifaces().next().unwrap();
             ctx.send(iface, pkt);
         }
         fn on_packet(&mut self, ctx: &mut WCtx<'_>, _iface: IfaceId, pkt: Packet) {

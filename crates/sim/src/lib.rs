@@ -25,8 +25,9 @@
 //! struct Sender;
 //! impl Node for Sender {
 //!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-//!         let (iface, meta) = ctx.my_ifaces().into_iter().next().unwrap();
-//!         let pkt = Packet::tcp(meta.addr, Addr::new(10, 0, 0, 2),
+//!         let (iface, meta) = ctx.my_ifaces().next().unwrap();
+//!         let src = meta.addr;
+//!         let pkt = Packet::tcp(src, Addr::new(10, 0, 0, 2),
 //!                               Bytes::from_static(&[0, 80, 1, 2]));
 //!         ctx.send(iface, pkt);
 //!     }
@@ -55,7 +56,9 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub(crate) mod equeue;
 pub mod firewall;
+pub mod hash;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -67,11 +70,12 @@ pub mod world;
 
 pub use addr::{Addr, AddrPrefix, FlowKey};
 pub use firewall::{DenyPolicy, Firewall};
+pub use hash::{FxHashMap, FxHashSet};
 pub use link::{Dir, DropReason, LinkCfg, LinkDirStats, LinkId, LossModel};
 pub use node::{Iface, IfaceId, Node, NodeId};
-pub use packet::{IcmpMsg, Packet, UnreachCode, IP_HEADER_LEN, PROTO_ICMP, PROTO_TCP};
+pub use packet::{IcmpMsg, Packet, PktSummary, UnreachCode, IP_HEADER_LEN, PROTO_ICMP, PROTO_TCP};
 pub use rng::SimRng;
 pub use router::{Route, Router};
 pub use time::{tx_time, SimTime};
 pub use trace::{CollectorSink, TraceEvent, TraceKind, TraceSink};
-pub use world::{Ctx, RunSummary, SimCore, Simulator, StopReason};
+pub use world::{Ctx, RunSummary, SimCore, Simulator, StopReason, TimerHandle};

@@ -176,16 +176,37 @@ impl LinkDirState {
         }
     }
 
+    /// True when the drop-tail queue can accept another packet. The
+    /// admission policy lives in this module: callers that need to act
+    /// between the check and the push (e.g. trace the packet before moving
+    /// it) pair this with [`LinkDirState::admit`] /
+    /// [`LinkDirState::count_queue_drop`].
+    pub fn has_room(&self) -> bool {
+        self.queue.len() < self.cfg.queue_pkts
+    }
+
+    /// Record a drop-tail rejection (call when [`LinkDirState::has_room`]
+    /// said no).
+    pub fn count_queue_drop(&mut self) {
+        self.stats.dropped_queue += 1;
+    }
+
+    /// Accept a packet the caller already checked room for.
+    pub fn admit(&mut self, pkt: Packet) {
+        debug_assert!(self.has_room(), "admit() without has_room()");
+        self.stats.enqueued += 1;
+        self.queue.push_back(pkt);
+    }
+
     /// Try to accept a packet into the queue. Returns false (and counts the
     /// drop) when the queue is full.
     pub fn enqueue(&mut self, pkt: Packet) -> bool {
-        if self.queue.len() >= self.cfg.queue_pkts {
-            self.stats.dropped_queue += 1;
-            false
-        } else {
-            self.stats.enqueued += 1;
-            self.queue.push_back(pkt);
+        if self.has_room() {
+            self.admit(pkt);
             true
+        } else {
+            self.count_queue_drop();
+            false
         }
     }
 }

@@ -52,8 +52,9 @@ pub trait Node {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet);
 
     /// A timer armed via [`Ctx::set_timer_after`] has fired. `token` is the
-    /// value passed when arming. Timers cannot be cancelled; owners should
-    /// keep their own expected deadline and ignore stale firings.
+    /// value passed when arming. Cancelled timers never reach this
+    /// callback; owners that do not cancel should keep their own expected
+    /// deadline and ignore stale firings.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let _ = (ctx, token);
     }

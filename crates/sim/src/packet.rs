@@ -82,17 +82,45 @@ impl Packet {
         }
     }
 
-    /// A terse single-line summary for traces.
-    pub fn summary(&self) -> String {
-        let (sp, dp) = self.ports();
-        format!(
+    /// A terse summary for traces. Plain `Copy` data — building one costs
+    /// no allocation; render it with `Display` at read-out time.
+    pub fn summary(&self) -> PktSummary {
+        let (src_port, dst_port) = self.ports();
+        PktSummary {
+            src: self.src,
+            dst: self.dst,
+            src_port,
+            dst_port,
+            proto: self.proto,
+            wire_len: self.wire_len() as u32,
+        }
+    }
+}
+
+/// A structured one-line packet summary, recorded by trace sinks instead of
+/// a formatted string so untraced fields cost nothing on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PktSummary {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Transport source port (0 when the payload is too short).
+    pub src_port: u16,
+    /// Transport destination port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub proto: u8,
+    /// Total on-wire length (IP header included).
+    pub wire_len: u32,
+}
+
+impl std::fmt::Display for PktSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
             "{}:{} > {}:{} proto={} len={}",
-            self.src,
-            sp,
-            self.dst,
-            dp,
-            self.proto,
-            self.wire_len()
+            self.src, self.src_port, self.dst, self.dst_port, self.proto, self.wire_len
         )
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::link::{Dir, DropReason, LinkId};
 use crate::node::{IfaceId, NodeId};
-use crate::packet::Packet;
+use crate::packet::{Packet, PktSummary};
 use crate::time::SimTime;
 
 /// What happened to a packet.
@@ -78,12 +78,15 @@ pub trait TraceSink {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
-/// A sink that retains a bounded number of events as owned summaries.
-/// Convenient for tests; real experiments use purpose-built sinks.
+/// A sink that retains a bounded number of events as structured
+/// [`PktSummary`] rows — no string formatting happens while the simulation
+/// runs; render rows with [`CollectorSink::render`] (or `Display` on each
+/// summary) after the run. Convenient for tests; real experiments use
+/// purpose-built sinks.
 #[derive(Debug, Default)]
 pub struct CollectorSink {
     /// Collected `(time, kind, packet summary)` rows.
-    pub events: Vec<(SimTime, TraceKind, String)>,
+    pub events: Vec<(SimTime, TraceKind, PktSummary)>,
     /// Maximum rows kept (0 = unlimited).
     pub cap: usize,
 }
@@ -100,6 +103,15 @@ impl CollectorSink {
     /// Count of events matching a predicate on the kind.
     pub fn count_kind(&self, f: impl Fn(&TraceKind) -> bool) -> usize {
         self.events.iter().filter(|(_, k, _)| f(k)).count()
+    }
+
+    /// Render the collected rows as `tcpdump`-style lines (read-out time
+    /// is the only place strings are built).
+    pub fn render(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|(at, kind, pkt)| format!("{at} {kind:?} {pkt}"))
+            .collect()
     }
 }
 
@@ -140,5 +152,9 @@ mod tests {
         }
         assert_eq!(c.events.len(), 2);
         assert_eq!(c.count_kind(|k| matches!(k, TraceKind::Enqueue { .. })), 2);
+        // Rendering happens only at read-out, and carries the packet line.
+        let lines = c.render();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("1.1.1.1:0 > 2.2.2.2:0 proto=6 len=20"));
     }
 }

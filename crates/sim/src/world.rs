@@ -6,12 +6,21 @@
 //! through which they send packets and arm timers. This split keeps borrows
 //! disjoint without interior mutability and keeps the whole simulation
 //! single-threaded and deterministic.
+//!
+//! # Event ordering and timers
+//!
+//! Events execute in strict `(time, insertion order)` order via a calendar
+//! queue (`crate::equeue`). Timers armed through [`Ctx::set_timer_after`]
+//! return a [`TimerHandle`] and can be cancelled with [`Ctx::cancel_timer`];
+//! cancellation is *lazy* — the queue entry stays until its expiry instant
+//! and still counts as one processed event when it pops (so enabling
+//! cancellation never changes a run's event accounting), but the callback
+//! is not invoked and the handle's slot is recycled immediately.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Duration;
 
 use crate::addr::Addr;
+use crate::equeue::{EventQueue, Scheduled};
 use crate::link::{Dir, DropReason, LinkCfg, LinkDirState, LinkDirStats, LinkId, LossModel};
 use crate::node::{Iface, IfaceId, Node, NodeId};
 use crate::packet::Packet;
@@ -21,11 +30,15 @@ use crate::trace::{TraceEvent, TraceKind, TraceSink};
 
 /// Internal events the simulator processes.
 #[derive(Debug)]
-enum SimEvent {
+pub(crate) enum SimEvent {
     /// Deliver `on_start` to a node.
     Start(NodeId),
     /// A node timer fired.
-    Timer { node: NodeId, token: u64 },
+    Timer {
+        node: NodeId,
+        token: u64,
+        handle: TimerHandle,
+    },
     /// A packet finished serializing on a link direction.
     TxDone { link: LinkId, dir: Dir, pkt: Packet },
     /// A packet finished propagating and arrives at the far end.
@@ -34,31 +47,6 @@ enum SimEvent {
     IfaceAdmin { iface: IfaceId, up: bool },
     /// Run a registered script hook.
     Script(usize),
-}
-
-/// An entry in the event queue. Ties are broken by insertion order so the
-/// simulation is fully deterministic.
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    ev: SimEvent,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// One link: two interfaces and two directional states.
@@ -116,17 +104,48 @@ pub struct RunSummary {
     pub ended_at: SimTime,
     /// Number of events processed.
     pub events: u64,
+    /// High-water mark of the event queue over the whole simulation.
+    pub peak_queue: usize,
+}
+
+/// A handle to an armed timer, returned by [`Ctx::set_timer_after`] /
+/// [`Ctx::set_timer_at`] and accepted by [`Ctx::cancel_timer`].
+///
+/// Handles are generation-tagged: once the timer has fired or been
+/// cancelled, the handle goes stale and cancelling it again is a safe
+/// no-op — even after the underlying slot has been recycled for a newer
+/// timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// State of one timer slot (recycled through a free list).
+#[derive(Debug, Clone, Copy)]
+struct TimerSlot {
+    gen: u32,
+    armed: bool,
 }
 
 /// Everything in the simulation except the nodes.
 pub struct SimCore {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<SimEvent>,
     next_seq: u64,
     rng: SimRng,
     links: Vec<LinkState>,
     ifaces: Vec<Iface>,
+    /// Per-node interface index: `node_ifaces[n]` lists node `n`'s
+    /// interfaces in creation order (O(1) topology lookups).
+    node_ifaces: Vec<Vec<IfaceId>>,
+    timer_slots: Vec<TimerSlot>,
+    timer_free: Vec<u32>,
+    live_timers: usize,
     trace: Option<Box<dyn TraceSink>>,
+    /// Cached `trace.is_some()` so the hot path skips sink dispatch with a
+    /// single branch when tracing is off.
+    tracing_on: bool,
     stop_requested: bool,
     /// Hard cap on processed events; a safety net against runaway loops.
     pub event_limit: u64,
@@ -136,12 +155,17 @@ impl SimCore {
     fn new(seed: u64) -> Self {
         SimCore {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             next_seq: 0,
             rng: SimRng::seed_from_u64(seed),
             links: Vec::new(),
             ifaces: Vec::new(),
+            node_ifaces: Vec::new(),
+            timer_slots: Vec::new(),
+            timer_free: Vec::new(),
+            live_timers: 0,
             trace: None,
+            tracing_on: false,
             stop_requested: false,
             event_limit: 500_000_000,
         }
@@ -164,12 +188,14 @@ impl SimCore {
 
     /// Install (or replace) the trace sink. Returns the previous one.
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.tracing_on = true;
         self.trace.replace(sink)
     }
 
     /// Remove and return the trace sink (typically after a run, to read
     /// collected data back out).
     pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracing_on = false;
         self.trace.take()
     }
 
@@ -180,11 +206,11 @@ impl SimCore {
 
     /// All interfaces belonging to `node`, in creation order.
     pub fn ifaces_of(&self, node: NodeId) -> impl Iterator<Item = (IfaceId, &Iface)> {
-        self.ifaces
-            .iter()
-            .enumerate()
-            .filter(move |(_, i)| i.node == node)
-            .map(|(n, i)| (IfaceId(n), i))
+        self.node_ifaces
+            .get(node.0)
+            .into_iter()
+            .flatten()
+            .map(move |&id| (id, &self.ifaces[id.0]))
     }
 
     /// Find the interface of `node` carrying address `addr`.
@@ -216,14 +242,87 @@ impl SimCore {
         self.push(at, SimEvent::IfaceAdmin { iface, up });
     }
 
+    /// Entries currently in the event queue (live work plus
+    /// lazily-cancelled timers awaiting expiry).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// High-water mark of [`SimCore::queue_depth`] since construction.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_len()
+    }
+
+    /// Timers armed and not yet fired or cancelled.
+    pub fn live_timer_count(&self) -> usize {
+        self.live_timers
+    }
+
+    /// Cancel a timer. Returns true if the timer was still pending; stale
+    /// handles (fired, already cancelled, or recycled slots) are a no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.release_timer(handle)
+    }
+
     fn push(&mut self, at: SimTime, ev: SimEvent) {
         debug_assert!(at >= self.now, "scheduling into the past");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, ev }));
+        self.queue.push(at, seq, ev);
     }
 
+    /// Arm a timer for `node` at `at`, allocating a generation-tagged slot.
+    fn arm_timer(&mut self, at: SimTime, node: NodeId, token: u64) -> TimerHandle {
+        let slot = match self.timer_free.pop() {
+            Some(s) => s,
+            None => {
+                self.timer_slots.push(TimerSlot {
+                    gen: 0,
+                    armed: false,
+                });
+                (self.timer_slots.len() - 1) as u32
+            }
+        };
+        let st = &mut self.timer_slots[slot as usize];
+        st.armed = true;
+        let handle = TimerHandle { slot, gen: st.gen };
+        self.live_timers += 1;
+        self.push(
+            at,
+            SimEvent::Timer {
+                node,
+                token,
+                handle,
+            },
+        );
+        handle
+    }
+
+    /// Retire a timer slot if `handle` is current. Returns whether the
+    /// timer was live. Shared by cancellation and (on firing) dispatch.
+    fn release_timer(&mut self, handle: TimerHandle) -> bool {
+        match self.timer_slots.get_mut(handle.slot as usize) {
+            Some(st) if st.armed && st.gen == handle.gen => {
+                st.armed = false;
+                st.gen = st.gen.wrapping_add(1);
+                self.timer_free.push(handle.slot);
+                self.live_timers -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    #[inline]
     fn trace_event(&mut self, kind: TraceKind, pkt: &Packet) {
+        if !self.tracing_on {
+            return;
+        }
+        self.trace_event_slow(kind, pkt);
+    }
+
+    #[cold]
+    fn trace_event_slow(&mut self, kind: TraceKind, pkt: &Packet) {
         if let Some(sink) = self.trace.as_mut() {
             sink.record(&TraceEvent {
                 at: self.now,
@@ -266,14 +365,12 @@ impl SimCore {
             },
             &pkt,
         );
-        let state = self.links[link_id.0].dir_mut(dir);
-        let was_idle = !state.busy;
-        if state.enqueue(pkt.clone()) {
-            self.trace_event(TraceKind::Enqueue { link: link_id, dir }, &pkt);
-            if was_idle {
-                self.start_tx(link_id, dir);
-            }
-        } else {
+        // Drop-tail check up front so the packet can be traced before being
+        // moved into the queue — no clone on the accept path. The admission
+        // policy itself stays in `LinkDirState`.
+        let state = self.links[link_id.0].dir_ref(dir);
+        if !state.has_room() {
+            self.links[link_id.0].dir_mut(dir).count_queue_drop();
             self.trace_event(
                 TraceKind::Drop {
                     link: Some(link_id),
@@ -281,6 +378,13 @@ impl SimCore {
                 },
                 &pkt,
             );
+            return;
+        }
+        let was_idle = !state.busy;
+        self.trace_event(TraceKind::Enqueue { link: link_id, dir }, &pkt);
+        self.links[link_id.0].dir_mut(dir).admit(pkt);
+        if was_idle {
+            self.start_tx(link_id, dir);
         }
     }
 
@@ -337,28 +441,22 @@ impl<'a> Ctx<'a> {
     }
 
     /// Arm a timer that fires `after` from now, delivering `token` to
-    /// [`Node::on_timer`]. Timers are not cancellable; keep a generation
-    /// counter and ignore stale firings.
-    pub fn set_timer_after(&mut self, after: Duration, token: u64) {
+    /// [`Node::on_timer`]. The returned handle can cancel the timer; a
+    /// dropped handle leaves the timer to fire normally.
+    pub fn set_timer_after(&mut self, after: Duration, token: u64) -> TimerHandle {
         let at = self.core.now + after;
-        self.core.push(
-            at,
-            SimEvent::Timer {
-                node: self.node,
-                token,
-            },
-        );
+        self.core.arm_timer(at, self.node, token)
     }
 
-    /// Arm a timer for an absolute instant (must not be in the past).
-    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
-        self.core.push(
-            at.max(self.core.now),
-            SimEvent::Timer {
-                node: self.node,
-                token,
-            },
-        );
+    /// Arm a timer for an absolute instant (clamped to now if in the past).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerHandle {
+        self.core.arm_timer(at.max(self.core.now), self.node, token)
+    }
+
+    /// Cancel a timer armed earlier. Returns true when the timer was still
+    /// pending; stale handles are a safe no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.core.cancel_timer(handle)
     }
 
     /// Metadata for any interface (commonly this node's own).
@@ -366,12 +464,10 @@ impl<'a> Ctx<'a> {
         self.core.iface(id)
     }
 
-    /// This node's interfaces.
-    pub fn my_ifaces(&self) -> Vec<(IfaceId, Iface)> {
-        self.core
-            .ifaces_of(self.node)
-            .map(|(id, i)| (id, i.clone()))
-            .collect()
+    /// This node's interfaces, in creation order (borrowed — copy out what
+    /// you need before sending).
+    pub fn my_ifaces(&self) -> impl Iterator<Item = (IfaceId, &Iface)> {
+        self.core.ifaces_of(self.node)
     }
 
     /// Find this node's interface with the given address.
@@ -414,6 +510,7 @@ impl Simulator {
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(node);
+        self.core.node_ifaces.push(Vec::new());
         id
     }
 
@@ -429,6 +526,7 @@ impl Simulator {
             up: true,
             name: name.into(),
         });
+        self.core.node_ifaces[node.0].push(id);
         id
     }
 
@@ -497,16 +595,16 @@ impl Simulator {
             if processed >= self.core.event_limit {
                 return self.finish(StopReason::EventLimit, processed);
             }
-            let Some(Reverse(head)) = self.core.queue.peek() else {
+            let Some(head_at) = self.core.queue.peek_time() else {
                 return self.finish(StopReason::Idle, processed);
             };
             if let Some(h) = horizon {
-                if head.at > h {
+                if head_at > h {
                     self.core.now = h;
                     return self.finish(StopReason::Horizon, processed);
                 }
             }
-            let Reverse(Scheduled { at, ev, .. }) = self.core.queue.pop().unwrap();
+            let Scheduled { at, ev, .. } = self.core.queue.pop().unwrap();
             debug_assert!(at >= self.core.now, "time went backwards");
             self.core.now = at;
             processed += 1;
@@ -519,6 +617,7 @@ impl Simulator {
             reason,
             ended_at: self.core.now,
             events,
+            peak_queue: self.core.peak_queue_depth(),
         }
     }
 
@@ -531,7 +630,18 @@ impl Simulator {
                 };
                 self.nodes[node.0].on_start(&mut ctx);
             }
-            SimEvent::Timer { node, token } => {
+            SimEvent::Timer {
+                node,
+                token,
+                handle,
+            } => {
+                // A stale generation means the timer was cancelled: the
+                // entry still counted as a processed event (identical
+                // accounting to an uncancellable timer firing into a
+                // no-op), but the node is not invoked.
+                if !self.core.release_timer(handle) {
+                    return;
+                }
                 let mut ctx = Ctx {
                     core: &mut self.core,
                     node,
@@ -647,9 +757,10 @@ mod tests {
     }
     impl Node for Pinger {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            let (id, iface) = ctx.my_ifaces().into_iter().next().unwrap();
+            let (id, iface) = ctx.my_ifaces().next().unwrap();
+            let addr = iface.addr;
             self.iface = Some(id);
-            let pkt = Packet::tcp(iface.addr, self.peer, Bytes::from_static(&[0, 1, 0, 2]));
+            let pkt = Packet::tcp(addr, self.peer, Bytes::from_static(&[0, 1, 0, 2]));
             ctx.send(id, pkt);
             ctx.set_timer_after(Duration::from_millis(500), 7);
         }
@@ -695,6 +806,7 @@ mod tests {
         assert_eq!(echo.seen, 3);
         assert_eq!(ping.got, 2);
         assert_eq!(ping.timer_fired, vec![7]);
+        assert!(summary.peak_queue >= 2, "start events queued together");
     }
 
     #[test]
@@ -785,5 +897,150 @@ mod tests {
         let _iface_of_other = sim.add_iface(other, Addr::new(1, 1, 1, 1), "eth0");
         sim.add_node(Box::new(Bad));
         sim.run();
+    }
+
+    /// A node that arms a timer, rearms (cancelling the old one) on each
+    /// firing, and records what actually fires.
+    struct Rearm {
+        pending: Option<TimerHandle>,
+        rearms_left: u32,
+        fired: Vec<u64>,
+        cancel_results: Vec<bool>,
+    }
+    impl Node for Rearm {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.pending = Some(ctx.set_timer_after(Duration::from_millis(100), 0));
+            // Immediately rearm a few times, like an RTO restarted per ACK.
+            for i in 1..=self.rearms_left as u64 {
+                let old = self.pending.take().unwrap();
+                self.cancel_results.push(ctx.cancel_timer(old));
+                self.pending = Some(ctx.set_timer_after(Duration::from_millis(100 + i), i));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+            self.fired.push(token);
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire_but_still_count_as_events() {
+        let mut sim = Simulator::new(9);
+        let n = sim.add_node(Box::new(Rearm {
+            pending: None,
+            rearms_left: 5,
+            fired: vec![],
+            cancel_results: vec![],
+        }));
+        let summary = sim.run();
+        let node = sim.node(n).as_any().downcast_ref::<Rearm>().unwrap();
+        assert_eq!(node.fired, vec![5], "only the live timer fires");
+        assert_eq!(node.cancel_results, vec![true; 5]);
+        // Start + 6 timer entries (5 cancelled, 1 live) all count.
+        assert_eq!(summary.events, 7);
+        assert_eq!(sim.core.live_timer_count(), 0);
+    }
+
+    #[test]
+    fn cancelling_twice_and_after_fire_is_noop() {
+        struct TwoCancels {
+            results: Vec<bool>,
+        }
+        impl Node for TwoCancels {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let h = ctx.set_timer_after(Duration::from_millis(1), 0);
+                self.results.push(ctx.cancel_timer(h));
+                self.results.push(ctx.cancel_timer(h));
+                // A fresh timer re-uses the slot; the stale handle must not
+                // be able to cancel it.
+                let h2 = ctx.set_timer_after(Duration::from_millis(2), 1);
+                assert_ne!(h2, h);
+                self.results.push(ctx.cancel_timer(h));
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                assert_eq!(token, 1, "only the second timer is live");
+                // Cancelling after firing is a no-op too.
+                self.results
+                    .push(ctx.cancel_timer(TimerHandle { slot: 0, gen: 0 }));
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node(Box::new(TwoCancels { results: vec![] }));
+        sim.run();
+        let node = sim.node(n).as_any().downcast_ref::<TwoCancels>().unwrap();
+        assert_eq!(node.results, vec![true, false, false, false]);
+    }
+
+    /// Rearm-heavy workload spread over simulated time: the queue must
+    /// track the live window, not the total number of rearms.
+    struct HeavyRearm {
+        pending: Option<TimerHandle>,
+        rearms: u64,
+    }
+    impl HeavyRearm {
+        const RTO: Duration = Duration::from_millis(200);
+        const TICK: Duration = Duration::from_millis(1);
+    }
+    impl Node for HeavyRearm {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(Self::TICK, 1);
+            self.pending = Some(ctx.set_timer_after(Self::RTO, 0));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if token != 1 {
+                return; // the "RTO" fired (end of workload)
+            }
+            // Rearm the RTO, as a new ACK would.
+            if let Some(old) = self.pending.take() {
+                ctx.cancel_timer(old);
+            }
+            self.pending = Some(ctx.set_timer_after(Self::RTO, 0));
+            self.rearms += 1;
+            if self.rearms < 5_000 {
+                ctx.set_timer_after(Self::TICK, 1);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn rearm_heavy_workload_keeps_queue_bounded() {
+        let mut sim = Simulator::new(11);
+        sim.add_node(Box::new(HeavyRearm {
+            pending: None,
+            rearms: 0,
+        }));
+        let summary = sim.run();
+        // 5000 rearms happened, but the queue never holds more than the
+        // ~200 ms window of not-yet-expired cancelled entries plus the two
+        // live timers.
+        let window = (HeavyRearm::RTO.as_millis() / HeavyRearm::TICK.as_millis()) as usize;
+        assert!(summary.reason == StopReason::Idle);
+        assert!(
+            summary.peak_queue <= window + 8,
+            "peak queue {} must track the live window (~{window}), not \
+             the 5000-rearm history",
+            summary.peak_queue
+        );
+        assert_eq!(sim.core.live_timer_count(), 0);
     }
 }

@@ -16,10 +16,11 @@ struct Blaster {
 }
 impl Node for Blaster {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let (iface, meta) = ctx.my_ifaces().into_iter().next().unwrap();
+        let (iface, meta) = ctx.my_ifaces().next().unwrap();
+        let src = meta.addr;
         for _ in 0..self.n {
             let pkt = Packet::tcp(
-                meta.addr,
+                src,
                 self.peer,
                 Bytes::from_static(&[0, 1, 0, 2, 0, 0, 0, 0]),
             );
@@ -130,8 +131,9 @@ fn scheduled_loss_transitions_exactly() {
             ctx.set_timer_at(SimTime::from_millis(1010), 1);
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-            let (iface, meta) = ctx.my_ifaces().into_iter().next().unwrap();
-            let pkt = Packet::tcp(meta.addr, self.peer, Bytes::from_static(&[0, 1, 0, 2]));
+            let (iface, meta) = ctx.my_ifaces().next().unwrap();
+            let src = meta.addr;
+            let pkt = Packet::tcp(src, self.peer, Bytes::from_static(&[0, 1, 0, 2]));
             ctx.send(iface, pkt);
         }
         fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}

@@ -65,14 +65,22 @@ impl SendBuffer {
     pub fn write(&mut self, data: &[u8]) -> usize {
         let take = (self.free().min(data.len() as u64)) as usize;
         if take > 0 {
-            self.chunks.push(Bytes::copy_from_slice(&data[..take]));
+            // The one copy on the send side: the application's transient
+            // slice becomes an owned chunk. Everything downstream
+            // (slice/retransmit/encode input) shares it zero-copy.
+            self.chunks.push(Bytes::from(data[..take].to_owned()));
             self.len += take as u64;
         }
         take
     }
 
-    /// Copy out the range `[off, off+len)`. The range must be entirely
-    /// inside the buffer.
+    /// The range `[off, off+len)` of the stream. The range must be
+    /// entirely inside the buffer.
+    ///
+    /// Zero-copy in the common case: when the range falls inside a single
+    /// buffered chunk (applications write in chunks much larger than one
+    /// MSS), the result is an Arc-backed sub-slice of that chunk. Only a
+    /// range spanning a chunk boundary is assembled into a fresh buffer.
     ///
     /// # Panics
     /// Panics when the range is outside `[head_offset, tail_offset)` —
@@ -86,18 +94,36 @@ impl SendBuffer {
             self.head,
             self.tail_offset()
         );
-        let mut out = BytesMut::with_capacity(len as usize);
+        if len == 0 {
+            return Bytes::new();
+        }
+        // Find the chunk containing `off`.
         let mut pos = self.head;
-        let mut want_from = off;
-        let want_end = off + len as u64;
-        for chunk in &self.chunks {
-            let chunk_end = pos + chunk.len() as u64;
-            if chunk_end > want_from && pos < want_end {
-                let start = (want_from - pos) as usize;
-                let end = (want_end.min(chunk_end) - pos) as usize;
-                out.extend_from_slice(&chunk[start..end]);
-                want_from = chunk_end.min(want_end);
+        let mut idx = 0usize;
+        while idx < self.chunks.len() {
+            let clen = self.chunks[idx].len() as u64;
+            if off < pos + clen {
+                break;
             }
+            pos += clen;
+            idx += 1;
+        }
+        let first = &self.chunks[idx];
+        let start = (off - pos) as usize;
+        if start + len as usize <= first.len() {
+            // Fast path: one chunk covers the whole range.
+            return first.slice(start..start + len as usize);
+        }
+        // Slow path: stitch the spanning range together.
+        let mut out = BytesMut::with_capacity(len as usize);
+        let want_end = off + len as u64;
+        let mut want_from = off;
+        for chunk in &self.chunks[idx..] {
+            let chunk_end = pos + chunk.len() as u64;
+            let s = (want_from - pos) as usize;
+            let e = (want_end.min(chunk_end) - pos) as usize;
+            out.extend_from_slice(&chunk[s..e]);
+            want_from = chunk_end.min(want_end);
             pos = chunk_end;
             if pos >= want_end {
                 break;
@@ -252,7 +278,7 @@ mod tests {
     use super::*;
 
     fn b(s: &[u8]) -> Bytes {
-        Bytes::copy_from_slice(s)
+        Bytes::from(s.to_owned())
     }
 
     #[test]
@@ -263,6 +289,17 @@ mod tests {
         assert_eq!(sb.len(), 10);
         assert_eq!(sb.free(), 0);
         assert_eq!(sb.write(b"x"), 0);
+    }
+
+    #[test]
+    fn send_buffer_single_chunk_slice_is_zero_copy() {
+        let mut sb = SendBuffer::with_capacity(100);
+        sb.write(b"0123456789");
+        let chunk_ptr = sb.slice(0, 10).as_ptr() as usize;
+        let sub = sb.slice(3, 4);
+        assert_eq!(&sub[..], b"3456");
+        // The sub-slice aliases the buffered chunk, not a fresh copy.
+        assert_eq!(sub.as_ptr() as usize, chunk_ptr + 3);
     }
 
     #[test]
@@ -423,7 +460,7 @@ mod prop {
             let mut r = Reassembly::new();
             let mut out: Vec<u8> = Vec::new();
             for (s, e) in shuffled {
-                r.insert(s as u64, Bytes::copy_from_slice(&stream[s..e]));
+                r.insert(s as u64, Bytes::from(stream[s..e].to_owned()));
                 for chunk in r.pop_ready() {
                     out.extend_from_slice(&chunk);
                 }

@@ -294,7 +294,13 @@ impl TcpSegment {
     }
 
     /// Decode from wire bytes.
-    pub fn decode(b: &[u8]) -> Result<TcpSegment, WireError> {
+    ///
+    /// Zero-copy: the input is the reference-counted frame buffer, and the
+    /// returned segment's `payload` and variable-length option bodies are
+    /// Arc-backed [`Bytes::slice`]s of it — a 1400-byte payload is never
+    /// memcpy'd between the sender's `encode` and the receiving
+    /// application. (The small fixed header fields are parsed by value.)
+    pub fn decode(b: &Bytes) -> Result<TcpSegment, WireError> {
         if b.len() < TCP_HEADER_LEN {
             return Err(WireError::Truncated);
         }
@@ -334,10 +340,10 @@ impl TcpSegment {
                             val: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
                             ecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
                         },
-                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(Bytes::copy_from_slice(body)),
+                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(b.slice(i + 2..i + len)),
                         _ => TcpOption::Unknown {
                             kind,
-                            data: Bytes::copy_from_slice(body),
+                            data: b.slice(i + 2..i + len),
                         },
                     };
                     hdr.options.push(opt);
@@ -347,7 +353,7 @@ impl TcpSegment {
         }
         Ok(TcpSegment {
             hdr,
-            payload: Bytes::copy_from_slice(&b[data_offset..]),
+            payload: b.slice(data_offset..),
         })
     }
 }
@@ -432,17 +438,26 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncated() {
-        assert_eq!(TcpSegment::decode(&[0; 10]), Err(WireError::Truncated));
+        assert_eq!(
+            TcpSegment::decode(&Bytes::from(vec![0u8; 10])),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]
     fn decode_rejects_bad_offset() {
         let mut wire = vec![0u8; 20];
         wire[12] = 4 << 4; // data offset 16 < 20
-        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadDataOffset));
+        assert_eq!(
+            TcpSegment::decode(&Bytes::from(wire)),
+            Err(WireError::BadDataOffset)
+        );
         let mut wire = vec![0u8; 20];
         wire[12] = 15 << 4; // data offset 60 > buffer
-        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadDataOffset));
+        assert_eq!(
+            TcpSegment::decode(&Bytes::from(wire)),
+            Err(WireError::BadDataOffset)
+        );
     }
 
     #[test]
@@ -454,11 +469,47 @@ mod tests {
             },
             payload: Bytes::new(),
         };
-        let mut wire = seg.encode().unwrap().to_vec();
+        let mut wire = Vec::from(&seg.encode().unwrap()[..]);
         wire[21] = 0; // MSS option length = 0
-        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadOptionLength));
+        assert_eq!(
+            TcpSegment::decode(&Bytes::from(wire.clone())),
+            Err(WireError::BadOptionLength)
+        );
         wire[21] = 40; // overruns header
-        assert_eq!(TcpSegment::decode(&wire), Err(WireError::BadOptionLength));
+        assert_eq!(
+            TcpSegment::decode(&Bytes::from(wire)),
+            Err(WireError::BadOptionLength)
+        );
+    }
+
+    #[test]
+    fn decode_payload_and_options_alias_the_frame_allocation() {
+        // Zero-copy receive path: the decoded payload and MPTCP option
+        // bodies must point *into* the frame's backing allocation, not to
+        // fresh copies.
+        let seg = TcpSegment {
+            hdr: sample_header(),
+            payload: Bytes::from(vec![0xAB; 1400]),
+        };
+        let wire = seg.encode().unwrap();
+        let frame = wire.as_ptr() as usize;
+        let frame_end = frame + wire.len();
+        let back = TcpSegment::decode(&wire).unwrap();
+
+        let p = back.payload.as_ptr() as usize;
+        assert!(
+            p >= frame && p + back.payload.len() <= frame_end,
+            "payload must alias the received frame's allocation"
+        );
+        // The payload sits right where encode wrote it.
+        assert_eq!(p - frame, wire.len() - back.payload.len());
+
+        let opt = back.mptcp_opt().unwrap();
+        let o = opt.as_ptr() as usize;
+        assert!(
+            o >= frame && o + opt.len() <= frame_end,
+            "MPTCP option body must alias the frame too"
+        );
     }
 
     #[test]
@@ -572,6 +623,66 @@ mod prop {
             )
     }
 
+    /// The pre-zero-copy decoder, kept as a reference model: identical
+    /// parsing logic, but every variable-length field is copied out into
+    /// its own allocation (`Bytes::from(..to_owned())`).
+    fn copying_decode(b: &[u8]) -> Result<TcpSegment, WireError> {
+        if b.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let data_offset = (b[12] >> 4) as usize * 4;
+        if data_offset < TCP_HEADER_LEN || data_offset > b.len() {
+            return Err(WireError::BadDataOffset);
+        }
+        let mut hdr = TcpHeader {
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            seq: SeqNum(u32::from_be_bytes([b[4], b[5], b[6], b[7]])),
+            ack: SeqNum(u32::from_be_bytes([b[8], b[9], b[10], b[11]])),
+            flags: TcpFlags::from_byte(b[13]),
+            window: u16::from_be_bytes([b[14], b[15]]),
+            options: Vec::new(),
+        };
+        let mut i = TCP_HEADER_LEN;
+        while i < data_offset {
+            let kind = b[i];
+            match kind {
+                0 => break,
+                1 => i += 1,
+                _ => {
+                    if i + 1 >= data_offset {
+                        return Err(WireError::BadOptionLength);
+                    }
+                    let len = b[i + 1] as usize;
+                    if len < 2 || i + len > data_offset {
+                        return Err(WireError::BadOptionLength);
+                    }
+                    let body = &b[i + 2..i + len];
+                    let opt = match (kind, len) {
+                        (2, 4) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                        (3, 3) => TcpOption::WindowScale(body[0]),
+                        (4, 2) => TcpOption::SackPermitted,
+                        (8, 10) => TcpOption::Timestamps {
+                            val: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                            ecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                        },
+                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(Bytes::from(body.to_owned())),
+                        _ => TcpOption::Unknown {
+                            kind,
+                            data: Bytes::from(body.to_owned()),
+                        },
+                    };
+                    hdr.options.push(opt);
+                    i += len;
+                }
+            }
+        }
+        Ok(TcpSegment {
+            hdr,
+            payload: Bytes::from(b[data_offset..].to_owned()),
+        })
+    }
+
     proptest! {
         #[test]
         fn encode_decode_roundtrip(seg in arb_segment()) {
@@ -583,7 +694,23 @@ mod prop {
 
         #[test]
         fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
-            let _ = TcpSegment::decode(&bytes);
+            let _ = TcpSegment::decode(&Bytes::from(bytes));
+        }
+
+        /// Zero-copy decode agrees byte-for-byte with the old copying
+        /// decoder — on valid encodings *and* on arbitrary byte soup
+        /// (including which error is returned).
+        #[test]
+        fn zero_copy_decode_matches_copying_decode(
+            seg in arb_segment(),
+            soup in proptest::collection::vec(any::<u8>(), 0..120),
+        ) {
+            if seg.hdr.options.iter().map(|o| o.wire_len()).sum::<usize>() <= 38 {
+                let wire = seg.encode().unwrap();
+                prop_assert_eq!(TcpSegment::decode(&wire), copying_decode(&wire));
+            }
+            let soup = Bytes::from(soup);
+            prop_assert_eq!(TcpSegment::decode(&soup), copying_decode(&soup));
         }
     }
 }

@@ -20,7 +20,7 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A cheaply cloneable, immutable slice of reference-counted bytes.
 ///
@@ -28,17 +28,38 @@ use std::sync::Arc;
 /// allocation. This mirrors `bytes::Bytes` for the operations the smapp
 /// data plane performs (packet payloads are sliced, re-sliced and cloned
 /// on every hop).
-#[derive(Clone, Default)]
+///
+/// The backing store is `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// `Bytes::from(vec)` / [`BytesMut::freeze`] *move* the vector instead of
+/// copying it into a fresh slice allocation — freezing an encoded segment
+/// must not memcpy the payload a second time.
+#[derive(Clone)]
 pub struct Bytes {
-    buf: Arc<[u8]>,
+    buf: Arc<Vec<u8>>,
     start: usize,
     end: usize,
+}
+
+/// Shared empty backing store, so `Bytes::new()` stays allocation-free.
+fn empty_buf() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
     /// An empty buffer (does not allocate a backing store per call).
     pub fn new() -> Self {
-        Bytes::default()
+        Bytes {
+            buf: empty_buf(),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wrap a static byte slice.
@@ -114,9 +135,12 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let buf: Arc<[u8]> = v.into();
-        let end = buf.len();
-        Bytes { buf, start: 0, end }
+        let end = v.len();
+        Bytes {
+            buf: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
