@@ -9,6 +9,11 @@
 
 use smapp_bench::scenarios::fig2a;
 
+use smapp_bench::count_alloc::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn main() {
     let seed = std::env::args()
         .nth(1)

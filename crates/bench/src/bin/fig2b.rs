@@ -11,6 +11,11 @@
 
 use smapp_bench::scenarios::fig2b::{self, Manager};
 
+use smapp_bench::count_alloc::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (runs, blocks) = if quick { (2, 20) } else { (6, 40) };

@@ -7,6 +7,11 @@
 
 use smapp_bench::scenarios::fig2c::{self, Manager};
 
+use smapp_bench::count_alloc::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (runs, transfer) = if quick {

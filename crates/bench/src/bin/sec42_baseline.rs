@@ -8,6 +8,11 @@
 
 use smapp_bench::scenarios::sec42;
 
+use smapp_bench::count_alloc::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = sec42::Params {

@@ -13,18 +13,23 @@
 //! Each binary prints plot-ready series (`label\tx\tF(x)` rows) plus a
 //! summary block; Criterion micro/macro benchmarks live under `benches/`.
 //!
-//! The `perf_report` binary ([`perf`]) measures simulator throughput on
-//! the fig2a/fig2c/fig3 macro scenarios (wall time, events/sec, peak
-//! event-queue depth), writes `BENCH_PR2.json`, and verifies that the
-//! fig2c per-seed trajectory is identical to the recorded `524cdc6`
-//! baseline.
+//! The `perf_report` binary ([`perf`]) drives the full scenario×seed
+//! matrix — every paper artifact above plus the beyond-paper many-client
+//! [`scenarios::fleet`] workload — through the deterministic multi-core
+//! [`sweep`] engine (`--jobs N`), measures wall time, events/sec, peak
+//! event-queue depth and allocations/event ([`count_alloc`]), writes
+//! `BENCH_PR3.json`, and verifies both that parallel execution reproduces
+//! the sequential trajectories bit-for-bit and that the fig2c per-seed
+//! trajectory is identical to the recorded `524cdc6` baseline.
 
 #![warn(missing_docs)]
 
+pub mod count_alloc;
 pub mod perf;
 pub mod pms;
 pub mod scenarios;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 
 pub use stats::Cdf;

@@ -1,21 +1,26 @@
 //! The performance measurement harness behind the `perf_report` binary.
 //!
-//! Runs the repo's three macro scenarios (fig2a, fig2c, fig3) under wall
-//! clocks, reports simulator throughput (events/sec) and peak event-queue
-//! depth, and — for the fig2c 100 MB transfer — asserts *trajectory parity*
-//! with the recorded PR-2 baseline: an optimization that changes
-//! `RunSummary.events` or the completion time for any seed is a semantics
-//! change, not a speedup.
+//! PR 2 measured three macro scenarios one after another on one core. This
+//! harness drives the **whole paper surface plus the fleet workload** —
+//! fig2a, fig2b, fig2c, fig3, §4.2 and `fleet` — as a declarative
+//! scenario×seed [`crate::sweep::Matrix`], twice:
 //!
-//! The baseline block ([`FIG2C_BASELINE`]) was measured at commit
-//! `524cdc6` (the first tier-1-green commit) with this same harness logic,
-//! interleaving baseline and optimized binaries on one machine to cancel
-//! machine-load drift. Later perf PRs extend `BENCH_PR<n>.json` the same
-//! way: measure old and new interleaved, record both.
+//! 1. at `--jobs 1` (inline, no pool) for single-thread throughput,
+//!    allocations/event, and comparability with the PR-2 numbers, and
+//! 2. at `--jobs N` (scoped worker pool) for the aggregate matrix
+//!    wall-time, asserting the results are **bit-identical** to pass 1 —
+//!    a parallel run that changes any trajectory is a bug, not a speedup.
+//!
+//! The fig2c per-seed trajectory is additionally checked against the
+//! recorded `524cdc6` baseline ([`FIG2C_BASELINE`], measured at the first
+//! tier-1-green commit), and fig2c single-thread events/sec is compared
+//! against the PR-2 figure ([`PR2_FIG2C_EVENTS_PER_SEC`]) to catch
+//! single-thread regressions hiding behind multi-core wins.
 
 use std::time::Instant;
 
-use crate::scenarios::{fig2a, fig2c, fig3};
+use crate::scenarios::{fig2a, fig2b, fig2c, fig3, fleet, sec42};
+use crate::sweep::{digest_f64s, fnv1a, parity, Matrix, MatrixEntry, ScenarioRun, SweepResult};
 
 /// fig2c seeds measured into the baseline.
 pub const FIG2C_SEEDS: [u64; 3] = [100, 101, 102];
@@ -44,32 +49,288 @@ pub const FIG2C_BASELINE: Fig2cBaseline = Fig2cBaseline {
     events_per_sec: 2_199_931.0,
 };
 
-/// One scenario's measurement.
+/// fig2c single-thread events/sec recorded in `BENCH_PR2.json` on the PR-2
+/// measurement machine — the "no single-thread regression" reference.
+pub const PR2_FIG2C_EVENTS_PER_SEC: f64 = 2_961_302.0;
+
+fn digest_rows(rows: &[(f64, u64, usize)]) -> u64 {
+    let mut bytes = Vec::with_capacity(rows.len() * 24);
+    for (t, seq, path) in rows {
+        bytes.extend_from_slice(&t.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&seq.to_le_bytes());
+        bytes.extend_from_slice(&(*path as u64).to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// The declarative scenario×seed matrix covering the whole paper surface
+/// (fig2a, fig2b, fig2c, fig3, §4.2) plus the beyond-paper fleet workload.
+/// `smoke` shrinks workloads to CI-liveness sizes.
+pub fn paper_matrix(smoke: bool) -> Matrix {
+    let mut entries = Vec::new();
+
+    // fig2a — backup switchover under 30% loss.
+    let p2a = fig2a::Params {
+        transfer: if smoke { 200_000 } else { 2_000_000 },
+        ..Default::default()
+    };
+    let seeds = if smoke { vec![42] } else { vec![42, 43, 44] };
+    let workload = format!("{} B transfer, 30% loss onset at 1 s", p2a.transfer);
+    entries.push(
+        MatrixEntry::new("fig2a", "backup", seeds, move |seed| {
+            let p = fig2a::Params {
+                seed,
+                ..p2a.clone()
+            };
+            let (summary, r) = fig2a::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "rows={} digest={:016x} switch={:?} delivered={} done={:?}",
+                    r.rows.len(),
+                    digest_rows(&r.rows),
+                    r.switch_at,
+                    r.delivered,
+                    r.completed_at
+                ),
+            }
+        })
+        .workload(workload),
+    );
+
+    // fig2b — smart-stream vs full-mesh block delays under 30% loss.
+    // Repetition comes from `seeds2b` (one matrix cell per seed);
+    // `Params.runs` only matters to the aggregate `fig2b::run` helper,
+    // which the matrix bypasses in favour of `run_one_instrumented`.
+    let blocks2b = if smoke { 8 } else { 25 };
+    let seeds2b: Vec<u64> = if smoke { vec![1] } else { vec![1, 2] };
+    for (variant, manager) in [
+        ("smart", fig2b::Manager::SmartStream),
+        ("fullmesh", fig2b::Manager::FullMesh),
+    ] {
+        if smoke && manager == fig2b::Manager::FullMesh {
+            continue;
+        }
+        let p = fig2b::Params {
+            blocks: blocks2b,
+            loss: 0.30,
+            manager,
+            ..Default::default()
+        };
+        let workload = format!("{} x 64 KB blocks, 30% loss, {variant}", p.blocks);
+        entries.push(
+            MatrixEntry::new("fig2b", variant, seeds2b.clone(), move |seed| {
+                let (summary, delays) = fig2b::run_one_instrumented(&p, seed);
+                ScenarioRun {
+                    summary,
+                    trajectory: format!(
+                        "blocks={} digest={:016x}",
+                        delays.len(),
+                        digest_f64s(&delays)
+                    ),
+                }
+            })
+            .workload(workload),
+        );
+    }
+
+    // fig2c — the 100 MB ECMP transfer, refresh and ndiffports.
+    let transfer2c = if smoke { 5_000_000 } else { 100_000_000 };
+    for (variant, manager, seeds) in [
+        (
+            "refresh",
+            fig2c::Manager::Refresh,
+            if smoke {
+                vec![FIG2C_SEEDS[0]]
+            } else {
+                FIG2C_SEEDS.to_vec()
+            },
+        ),
+        (
+            "ndiffports",
+            fig2c::Manager::Ndiffports,
+            if smoke { vec![] } else { vec![100, 101] },
+        ),
+    ] {
+        if seeds.is_empty() {
+            continue;
+        }
+        let p = fig2c::Params {
+            transfer: transfer2c,
+            manager,
+            ..Default::default()
+        };
+        let workload = format!(
+            "{} B transfer, 5 subflows, {variant}, 4 ECMP paths",
+            p.transfer
+        );
+        entries.push(
+            MatrixEntry::new("fig2c", variant, seeds, move |seed| {
+                let (summary, used) = fig2c::run_one_instrumented(&p, seed);
+                ScenarioRun {
+                    summary,
+                    trajectory: format!("end_ns={} paths={used}", summary.ended_at.as_nanos()),
+                }
+            })
+            .workload(workload),
+        );
+    }
+
+    // fig3 — consecutive GETs, kernel vs userspace path manager.
+    let gets = if smoke { 20 } else { 300 };
+    for (variant, manager) in [
+        ("kernel", fig3::Manager::Kernel),
+        ("userspace", fig3::Manager::Userspace),
+    ] {
+        if smoke && manager == fig3::Manager::Userspace {
+            continue;
+        }
+        let p = fig3::Params {
+            gets,
+            manager,
+            ..Default::default()
+        };
+        let workload = format!("{gets} consecutive 512 KB GETs, {variant} PM");
+        entries.push(
+            MatrixEntry::new("fig3", variant, vec![7], move |seed| {
+                let p = fig3::Params { seed, ..p.clone() };
+                let (summary, cdf, completed) = fig3::run_instrumented(&p);
+                assert_eq!(completed, p.gets, "fig3 workload must complete");
+                ScenarioRun {
+                    summary,
+                    trajectory: format!(
+                        "joins={} digest={:016x} completed={completed}",
+                        cdf.len(),
+                        digest_f64s(&cdf.samples)
+                    ),
+                }
+            })
+            .workload(workload),
+        );
+    }
+
+    // §4.2 — the no-SMAPP give-up baseline.
+    let p42 = sec42::Params {
+        transfer: if smoke { 1_000_000 } else { 4_000_000 },
+        max_retries: if smoke { 6 } else { 15 },
+        ..Default::default()
+    };
+    let workload = format!(
+        "{} B transfer, blackhole at 1 s, {}-doubling give-up",
+        p42.transfer, p42.max_retries
+    );
+    entries.push(
+        MatrixEntry::new("sec42", "giveup", vec![11], move |seed| {
+            let p = sec42::Params {
+                seed,
+                ..p42.clone()
+            };
+            let (summary, r) = sec42::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "switch={:?} delivered={} done={:?}",
+                    r.switch_at, r.delivered, r.completed_at
+                ),
+            }
+        })
+        .workload(workload),
+    );
+
+    // fleet — the many-client workload (queue depths far beyond fig3).
+    let pf = if smoke {
+        fleet::Params {
+            clients: 60,
+            response: 32 * 1024,
+            ..Default::default()
+        }
+    } else {
+        fleet::Params::default()
+    };
+    let workload = format!(
+        "{} clients x {} GET(s) of {} B, {} ECMP bottleneck paths, mixed kernel/refresh",
+        pf.clients,
+        pf.gets,
+        pf.response,
+        pf.paths.len()
+    );
+    entries.push(
+        MatrixEntry::new("fleet", "mixed", vec![1], move |seed| {
+            let (summary, stats) = fleet::run_instrumented(&pf, seed);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "completed={}/{} clients_done={} last_ns={} digest={:016x}",
+                    stats.completed,
+                    stats.expected,
+                    stats.clients_done,
+                    stats.last_completion_ns,
+                    stats.completions_digest
+                ),
+            }
+        })
+        .workload(workload),
+    );
+
+    Matrix { entries }
+}
+
+/// Aggregate measurements of one `(scenario, variant)` matrix row, from
+/// the single-threaded pass.
 pub struct ScenarioPerf {
-    /// Scenario label (`fig2a`, `fig2c`, `fig3`).
-    pub name: &'static str,
+    /// `scenario/variant` label.
+    pub name: String,
     /// Workload description for the report.
     pub workload: String,
-    /// Wall-clock seconds.
+    /// Seeds aggregated.
+    pub runs: usize,
+    /// Sum of per-cell wall-clock seconds (single-threaded pass).
     pub wall_s: f64,
     /// Total simulator events processed.
     pub events: u64,
     /// Events per wall-clock second.
     pub events_per_sec: f64,
-    /// Maximum event-queue depth over all runs.
+    /// Heap allocations per simulated event.
+    pub allocs_per_event: f64,
+    /// Maximum event-queue depth over the row's runs.
     pub peak_queue: usize,
     /// Simulated seconds covered.
     pub sim_s: f64,
 }
 
-/// Full report: the three scenarios plus the fig2c-vs-baseline verdict.
+/// Full report: the matrix at `--jobs 1` vs `--jobs N`, per-row
+/// single-thread measurements, and the fig2c baseline verdicts.
 pub struct PerfReport {
     /// Smoke mode (reduced sizes; no baseline comparison).
     pub smoke: bool,
-    /// Per-scenario measurements.
+    /// Worker threads used for the parallel pass.
+    pub jobs: usize,
+    /// `std::thread::available_parallelism()` on the measurement machine —
+    /// the context needed to interpret `matrix_speedup`.
+    pub machine_parallelism: usize,
+    /// Matrix cells executed per pass.
+    pub matrix_cells: usize,
+    /// Aggregate matrix wall-clock at `--jobs 1`.
+    pub wall_jobs1_s: f64,
+    /// Aggregate matrix wall-clock at `--jobs N`.
+    pub wall_jobsn_s: f64,
+    /// `wall_jobs1_s / wall_jobsn_s`.
+    pub matrix_speedup: f64,
+    /// Did the second pass reproduce the first bit-for-bit? With
+    /// `jobs > 1` this is the cross-thread parity gate; with `jobs == 1`
+    /// (e.g. a single-core machine) both passes run inline and the check
+    /// degenerates to rerun determinism — still a real invariant, but it
+    /// exercises no parallelism.
+    pub parallel_parity: bool,
+    /// Per-row single-thread measurements.
     pub scenarios: Vec<ScenarioPerf>,
-    /// fig2c speedup over [`FIG2C_BASELINE`] (full mode only).
+    /// Peak event-queue depth of the fleet run (vs fig3's 5737).
+    pub fleet_peak_queue: usize,
+    /// fig2c single-thread speedup over [`FIG2C_BASELINE`] (full mode only).
     pub fig2c_speedup: Option<f64>,
+    /// fig2c single-thread events/sec relative to the PR-2 figure
+    /// (full mode only; ~1.0 means no single-thread regression).
+    pub fig2c_vs_pr2: Option<f64>,
     /// Whether every fig2c seed reproduced the baseline trajectory
     /// (full mode only).
     pub fig2c_parity: Option<bool>,
@@ -77,124 +338,135 @@ pub struct PerfReport {
     pub parity_notes: Vec<String>,
 }
 
-/// Run the fig2a macro scenario (backup switchover, 2 MB transfer).
-pub fn run_fig2a(smoke: bool) -> ScenarioPerf {
-    let p = fig2a::Params {
-        transfer: if smoke { 200_000 } else { 2_000_000 },
-        ..Default::default()
-    };
-    let t0 = Instant::now();
-    let (summary, _results) = fig2a::run_instrumented(&p);
-    let wall = t0.elapsed().as_secs_f64();
-    ScenarioPerf {
-        name: "fig2a",
-        workload: format!("{} B transfer, 30% loss onset at 1 s", p.transfer),
-        wall_s: wall,
-        events: summary.events,
-        events_per_sec: summary.events as f64 / wall,
-        peak_queue: summary.peak_queue,
-        sim_s: summary.ended_at.as_secs_f64(),
+fn aggregate(matrix: &Matrix, seq: &[SweepResult]) -> Vec<ScenarioPerf> {
+    let mut rows = Vec::new();
+    for entry in &matrix.entries {
+        let cells: Vec<&SweepResult> = seq
+            .iter()
+            .filter(|r| r.scenario == entry.scenario && r.variant == entry.variant)
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let wall_s: f64 = cells.iter().map(|c| c.wall_s).sum();
+        let events: u64 = cells.iter().map(|c| c.run.summary.events).sum();
+        let allocs: u64 = cells.iter().map(|c| c.allocs).sum();
+        rows.push(ScenarioPerf {
+            name: format!("{}/{}", entry.scenario, entry.variant),
+            workload: entry.workload.clone(),
+            runs: cells.len(),
+            wall_s,
+            events,
+            events_per_sec: events as f64 / wall_s,
+            allocs_per_event: allocs as f64 / events.max(1) as f64,
+            peak_queue: cells
+                .iter()
+                .map(|c| c.run.summary.peak_queue)
+                .max()
+                .unwrap_or(0),
+            sim_s: cells
+                .iter()
+                .map(|c| c.run.summary.ended_at.as_secs_f64())
+                .sum(),
+        });
     }
+    rows
 }
 
-/// Run the fig2c macro scenario (paper-size 100 MB over 4 ECMP paths) and
-/// check trajectory parity against the baseline.
-pub fn run_fig2c(smoke: bool) -> (ScenarioPerf, Option<bool>, Vec<String>) {
-    let p = fig2c::Params {
-        transfer: if smoke { 5_000_000 } else { 100_000_000 },
-        ..Default::default()
-    };
-    let seeds: &[u64] = if smoke {
-        &FIG2C_SEEDS[..1]
-    } else {
-        &FIG2C_SEEDS
-    };
-    let mut events = 0u64;
-    let mut peak = 0usize;
-    let mut sim_s = 0f64;
-    let mut parity = true;
-    let mut notes = Vec::new();
+/// Run the whole matrix at `--jobs 1` and `--jobs N` and assemble the
+/// report. The second pass always runs, even when `jobs == 1`: there it
+/// verifies rerun determinism instead of cross-thread parity (see
+/// [`PerfReport::parallel_parity`]) — a measurement binary can afford the
+/// second pass, and a silent skip would make the parity flag meaningless.
+pub fn run_all(smoke: bool, jobs: usize) -> PerfReport {
+    let matrix = paper_matrix(smoke);
+
     let t0 = Instant::now();
-    for (i, &seed) in seeds.iter().enumerate() {
-        let (summary, _used) = fig2c::run_one_instrumented(&p, seed);
-        events += summary.events;
-        peak = peak.max(summary.peak_queue);
-        sim_s += summary.ended_at.as_secs_f64();
-        if !smoke {
-            let want_events = FIG2C_BASELINE.events[i];
-            let want_end = FIG2C_BASELINE.ended_at_ns[i];
-            if summary.events != want_events {
-                parity = false;
-                notes.push(format!(
-                    "seed {seed}: events {} != baseline {want_events}",
-                    summary.events
-                ));
-            }
-            if summary.ended_at.as_nanos() != want_end {
-                parity = false;
-                notes.push(format!(
-                    "seed {seed}: ended_at {} ns != baseline {want_end} ns",
-                    summary.ended_at.as_nanos()
+    let seq = matrix.run(1);
+    let wall_jobs1_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let par = matrix.run(jobs);
+    let wall_jobsn_s = t0.elapsed().as_secs_f64();
+
+    let parallel_parity = parity(&seq, &par);
+    let mut parity_notes = Vec::new();
+    if !parallel_parity {
+        for (a, b) in seq.iter().zip(&par) {
+            if a != b {
+                parity_notes.push(format!(
+                    "{}/{} seed {}: jobs=1 {:?} != jobs={jobs} {:?}",
+                    a.scenario, a.variant, a.seed, a.run.trajectory, b.run.trajectory
                 ));
             }
         }
     }
-    let wall = t0.elapsed().as_secs_f64();
-    let perf = ScenarioPerf {
-        name: "fig2c",
-        workload: format!(
-            "{} B transfer x {} seed(s), 5 subflows, refresh controller, 4 ECMP paths",
-            p.transfer,
-            seeds.len()
-        ),
-        wall_s: wall,
-        events,
-        events_per_sec: events as f64 / wall,
-        peak_queue: peak,
-        sim_s,
-    };
-    (perf, (!smoke).then_some(parity), notes)
-}
 
-/// Run the fig3 macro scenario (consecutive GETs, kernel path manager).
-pub fn run_fig3(smoke: bool) -> ScenarioPerf {
-    let p = fig3::Params {
-        gets: if smoke { 20 } else { 300 },
-        manager: fig3::Manager::Kernel,
-        ..Default::default()
-    };
-    let t0 = Instant::now();
-    let (summary, _cdf, completed) = fig3::run_instrumented(&p);
-    let wall = t0.elapsed().as_secs_f64();
-    assert_eq!(completed, p.gets, "fig3 workload must complete");
-    ScenarioPerf {
-        name: "fig3",
-        workload: format!("{} consecutive 512 KB GETs, kernel PM", p.gets),
-        wall_s: wall,
-        events: summary.events,
-        events_per_sec: summary.events as f64 / wall,
-        peak_queue: summary.peak_queue,
-        sim_s: summary.ended_at.as_secs_f64(),
+    // fig2c refresh: baseline trajectory parity + speedup (full mode).
+    let fig2c_cells: Vec<&SweepResult> = seq
+        .iter()
+        .filter(|r| r.scenario == "fig2c" && r.variant == "refresh")
+        .collect();
+    let (mut fig2c_speedup, mut fig2c_vs_pr2, mut fig2c_parity) = (None, None, None);
+    if !smoke {
+        let mut ok = true;
+        for (i, &seed) in FIG2C_SEEDS.iter().enumerate() {
+            let Some(cell) = fig2c_cells.iter().find(|c| c.seed == seed) else {
+                ok = false;
+                parity_notes.push(format!("fig2c seed {seed}: missing from matrix"));
+                continue;
+            };
+            if cell.run.summary.events != FIG2C_BASELINE.events[i] {
+                ok = false;
+                parity_notes.push(format!(
+                    "fig2c seed {seed}: events {} != baseline {}",
+                    cell.run.summary.events, FIG2C_BASELINE.events[i]
+                ));
+            }
+            if cell.run.summary.ended_at.as_nanos() != FIG2C_BASELINE.ended_at_ns[i] {
+                ok = false;
+                parity_notes.push(format!(
+                    "fig2c seed {seed}: ended_at {} ns != baseline {} ns",
+                    cell.run.summary.ended_at.as_nanos(),
+                    FIG2C_BASELINE.ended_at_ns[i]
+                ));
+            }
+        }
+        fig2c_parity = Some(ok);
+        let wall: f64 = fig2c_cells.iter().map(|c| c.wall_s).sum();
+        let events: u64 = fig2c_cells.iter().map(|c| c.run.summary.events).sum();
+        let eps = events as f64 / wall;
+        fig2c_speedup = Some(eps / FIG2C_BASELINE.events_per_sec);
+        fig2c_vs_pr2 = Some(eps / PR2_FIG2C_EVENTS_PER_SEC);
     }
-}
 
-/// Run everything.
-pub fn run_all(smoke: bool) -> PerfReport {
-    let a = run_fig2a(smoke);
-    let (c, parity, notes) = run_fig2c(smoke);
-    let f = run_fig3(smoke);
-    let speedup = (!smoke).then(|| c.events_per_sec / FIG2C_BASELINE.events_per_sec);
+    let fleet_peak_queue = seq
+        .iter()
+        .filter(|r| r.scenario == "fleet")
+        .map(|r| r.run.summary.peak_queue)
+        .max()
+        .unwrap_or(0);
+
     PerfReport {
         smoke,
-        scenarios: vec![a, c, f],
-        fig2c_speedup: speedup,
-        fig2c_parity: parity,
-        parity_notes: notes,
+        jobs,
+        machine_parallelism: crate::sweep::default_jobs(),
+        matrix_cells: seq.len(),
+        wall_jobs1_s,
+        wall_jobsn_s,
+        matrix_speedup: wall_jobs1_s / wall_jobsn_s,
+        parallel_parity,
+        scenarios: aggregate(&matrix, &seq),
+        fleet_peak_queue,
+        fig2c_speedup,
+        fig2c_vs_pr2,
+        fig2c_parity,
+        parity_notes,
     }
 }
 
 impl PerfReport {
-    /// Serialize to the `BENCH_PR2.json` schema (hand-rolled: the workspace
+    /// Serialize to the `BENCH_PR3.json` schema (hand-rolled: the workspace
     /// deliberately carries no serde dependency).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -204,17 +476,34 @@ impl PerfReport {
             "  \"baseline\": {{\"commit\": \"{}\", \"fig2c_events_per_sec\": {:.0}}},\n",
             FIG2C_BASELINE.commit, FIG2C_BASELINE.events_per_sec
         ));
+        s.push_str(&format!(
+            "  \"pr2\": {{\"fig2c_events_per_sec\": {PR2_FIG2C_EVENTS_PER_SEC:.0}}},\n"
+        ));
+        s.push_str(&format!(
+            "  \"sweep\": {{\"jobs\": {}, \"machine_parallelism\": {}, \"matrix_cells\": {}, \
+             \"wall_jobs1_s\": {:.4}, \"wall_jobsn_s\": {:.4}, \"matrix_speedup\": {:.3}, \
+             \"parallel_parity\": {}}},\n",
+            self.jobs,
+            self.machine_parallelism,
+            self.matrix_cells,
+            self.wall_jobs1_s,
+            self.wall_jobsn_s,
+            self.matrix_speedup,
+            self.parallel_parity
+        ));
         s.push_str("  \"scenarios\": [\n");
         for (i, p) in self.scenarios.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"wall_s\": {:.4}, \
-                 \"events\": {}, \"events_per_sec\": {:.0}, \"peak_queue\": {}, \
-                 \"sim_s\": {:.3}}}{}\n",
+                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"runs\": {}, \"wall_s\": {:.4}, \
+                 \"events\": {}, \"events_per_sec\": {:.0}, \"allocs_per_event\": {:.2}, \
+                 \"peak_queue\": {}, \"sim_s\": {:.3}}}{}\n",
                 p.name,
                 p.workload,
+                p.runs,
                 p.wall_s,
                 p.events,
                 p.events_per_sec,
+                p.allocs_per_event,
                 p.peak_queue,
                 p.sim_s,
                 if i + 1 < self.scenarios.len() {
@@ -225,9 +514,17 @@ impl PerfReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"fleet\": {{\"peak_queue\": {}, \"fig3_peak_queue_reference\": 5737}},\n",
+            self.fleet_peak_queue
+        ));
         match self.fig2c_speedup {
             Some(x) => s.push_str(&format!("  \"fig2c_speedup_vs_baseline\": {x:.3},\n")),
             None => s.push_str("  \"fig2c_speedup_vs_baseline\": null,\n"),
+        }
+        match self.fig2c_vs_pr2 {
+            Some(x) => s.push_str(&format!("  \"fig2c_vs_pr2\": {x:.3},\n")),
+            None => s.push_str("  \"fig2c_vs_pr2\": null,\n"),
         }
         match self.fig2c_parity {
             Some(p) => s.push_str(&format!("  \"fig2c_trajectory_parity\": {p}\n")),
@@ -241,20 +538,46 @@ impl PerfReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "perf_report ({} mode)\n",
-            if self.smoke { "smoke" } else { "full" }
+            "perf_report ({} mode, --jobs {}, machine parallelism {})\n",
+            if self.smoke { "smoke" } else { "full" },
+            self.jobs,
+            self.machine_parallelism
         ));
-        s.push_str("scenario  wall_s    events      events/sec  peak_queue  sim_s\n");
+        s.push_str(&format!(
+            "matrix: {} cells  jobs=1 {:.2}s  jobs={} {:.2}s  speedup {:.2}x  parity {}\n",
+            self.matrix_cells,
+            self.wall_jobs1_s,
+            self.jobs,
+            self.wall_jobsn_s,
+            self.matrix_speedup,
+            if self.parallel_parity {
+                "IDENTICAL"
+            } else {
+                "MISMATCH"
+            }
+        ));
+        s.push_str(
+            "scenario          runs wall_s    events      events/sec  allocs/ev  peak_q  sim_s\n",
+        );
         for p in &self.scenarios {
             s.push_str(&format!(
-                "{:<9} {:<9.3} {:<11} {:<11.0} {:<11} {:.2}\n",
-                p.name, p.wall_s, p.events, p.events_per_sec, p.peak_queue, p.sim_s
+                "{:<17} {:<4} {:<9.3} {:<11} {:<11.0} {:<10.2} {:<7} {:.2}\n",
+                p.name,
+                p.runs,
+                p.wall_s,
+                p.events,
+                p.events_per_sec,
+                p.allocs_per_event,
+                p.peak_queue,
+                p.sim_s
             ));
         }
         if let Some(x) = self.fig2c_speedup {
             s.push_str(&format!(
-                "fig2c vs {} baseline: {:.2}x events/sec\n",
-                FIG2C_BASELINE.commit, x
+                "fig2c vs {} baseline: {:.2}x events/sec (vs PR2: {:.2}x)\n",
+                FIG2C_BASELINE.commit,
+                x,
+                self.fig2c_vs_pr2.unwrap_or(0.0)
             ));
         }
         if let Some(parity) = self.fig2c_parity {
@@ -262,9 +585,9 @@ impl PerfReport {
                 "fig2c trajectory parity: {}\n",
                 if parity { "IDENTICAL" } else { "MISMATCH" }
             ));
-            for n in &self.parity_notes {
-                s.push_str(&format!("  {n}\n"));
-            }
+        }
+        for n in &self.parity_notes {
+            s.push_str(&format!("  {n}\n"));
         }
         s
     }
@@ -276,19 +599,40 @@ mod tests {
 
     #[test]
     fn smoke_report_runs_and_serializes() {
-        let r = run_all(true);
-        assert_eq!(r.scenarios.len(), 3);
+        let r = run_all(true, 2);
+        assert!(r.matrix_cells >= 6, "smoke matrix covers every scenario");
         assert!(r.scenarios.iter().all(|s| s.events > 0));
         assert!(r.scenarios.iter().all(|s| s.peak_queue > 0));
+        assert!(
+            r.parallel_parity,
+            "jobs=1 and jobs=2 must agree bit-for-bit: {:?}",
+            r.parity_notes
+        );
         assert!(r.fig2c_speedup.is_none());
+        let names: Vec<&str> = r.scenarios.iter().map(|s| s.name.as_str()).collect();
+        for want in [
+            "fig2a/backup",
+            "fig2b/smart",
+            "fig2c/refresh",
+            "fig3/kernel",
+            "sec42/giveup",
+            "fleet/mixed",
+        ] {
+            assert!(
+                names.contains(&want),
+                "matrix row {want} missing: {names:?}"
+            );
+        }
         let json = r.to_json();
         assert!(json.contains("\"fig2c_trajectory_parity\": null"));
-        assert!(json.contains("\"name\": \"fig2c\""));
+        assert!(json.contains("\"parallel_parity\": true"));
+        assert!(json.contains("\"name\": \"fleet/mixed\""));
         // Crude structural check: braces balance.
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "JSON braces balance"
         );
+        let _ = r.render();
     }
 }

@@ -62,6 +62,13 @@ impl Default for Params {
 /// Run one seed; returns the per-block delivery delays in seconds
 /// (completion at the sink minus the block's write time at the sender).
 pub fn run_one(p: &Params, seed: u64) -> Vec<f64> {
+    run_one_instrumented(p, seed).1
+}
+
+/// Like [`run_one`], additionally returning the simulator's
+/// [`smapp_sim::RunSummary`] (event count, peak queue depth) for the perf
+/// harness and sweep matrix.
+pub fn run_one_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, Vec<f64>) {
     let block = 64 * 1024u64;
     let mut client = match p.manager {
         Manager::FullMesh => {
@@ -104,7 +111,7 @@ pub fn run_one(p: &Params, seed: u64) -> Vec<f64> {
     sim.at(SimTime::from_millis(200), move |core| {
         core.set_loss_both(l1, LossModel::Bernoulli(loss));
     });
-    sim.run_until(SimTime::from_secs(p.blocks + 120));
+    let summary = sim.run_until(SimTime::from_secs(p.blocks + 120));
 
     // Pair block completions (sink side) with block starts (sender side).
     let starts: Vec<SimTime> = topo::host(&sim, net.client)
@@ -123,11 +130,12 @@ pub fn run_one(p: &Params, seed: u64) -> Vec<f64> {
         .and_then(|a| a.as_any().downcast_ref::<Sink>())
         .map(|s| s.block_completions.clone())
         .unwrap_or_default();
-    starts
+    let delays = starts
         .iter()
         .zip(&completions)
         .map(|(s, c)| c.saturating_since(*s).as_secs_f64())
-        .collect()
+        .collect();
+    (summary, delays)
 }
 
 /// Aggregate `runs` seeds into one CDF.

@@ -1,0 +1,301 @@
+//! Fleet — a many-client workload far beyond anything in the paper.
+//!
+//! The paper's experiments all run a *single* SMAPP client. The north-star
+//! system serves heavy traffic from millions of users, so this scenario
+//! opens the fleet dimension: hundreds to thousands of concurrent SMAPP
+//! clients, each a full multihomed MPTCP endpoint, doing staggered
+//! HTTP/1.0-style GETs against one server through a shared ECMP bottleneck
+//! fabric. Half the clients run the in-kernel ndiffports path manager, half
+//! run the §4.4 refresh controller behind the netlink boundary — the two
+//! production configurations, side by side under contention.
+//!
+//! Besides opening a workload dimension, the fleet is a deliberate stress
+//! test of the simulator's calendar event queue: thousands of concurrent
+//! connections keep tens of thousands of timers and in-flight packets
+//! queued at once — depths far beyond the ~5.7 k peak the fig3 chain
+//! reaches — while per-client `/24` routes exercise the router's memoized
+//! longest-prefix-match path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use smapp::{ControllerRuntime, RefreshConfig, RefreshController};
+use smapp_mptcp::apps::{GetClient, GetProgress, GetServer};
+use smapp_mptcp::StackConfig;
+use smapp_netlink::LatencyModel;
+use smapp_pm::topo::SERVER_ADDR;
+use smapp_pm::{Host, NdiffportsPm};
+use smapp_sim::{Addr, AddrPrefix, LinkCfg, Router, SimTime, Simulator};
+
+use crate::sweep::fnv1a;
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of concurrent clients (paper scenarios: 1; fleet: 100s–1000s).
+    pub clients: usize,
+    /// Chained GETs per client.
+    pub gets: u32,
+    /// Response size per GET, bytes.
+    pub response: u64,
+    /// Request size, bytes.
+    pub request: usize,
+    /// Connect-time spacing between consecutive clients.
+    pub stagger: Duration,
+    /// Subflows per client connection.
+    pub n_subflows: u8,
+    /// The shared bottleneck: parallel ECMP paths between the two routers.
+    pub paths: Vec<LinkCfg>,
+    /// Per-client access link.
+    pub access: LinkCfg,
+    /// Simulation horizon (the run normally drains and stops earlier).
+    pub horizon: SimTime,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            clients: 800,
+            gets: 1,
+            response: 128 * 1024,
+            request: 100,
+            stagger: Duration::from_millis(2),
+            n_subflows: 2,
+            // 4 × 50 Mb/s with spread delays: a 200 Mb/s shared fabric.
+            paths: vec![
+                LinkCfg::mbps_ms(50, 5),
+                LinkCfg::mbps_ms(50, 10),
+                LinkCfg::mbps_ms(50, 15),
+                LinkCfg::mbps_ms(50, 20),
+            ],
+            access: LinkCfg::mbps_ms(100, 2),
+            horizon: SimTime::from_secs(120),
+        }
+    }
+}
+
+/// The addressing scheme below supports this many clients before the
+/// second octet would overflow (16 + 10_000/200 = 66 ≤ 255, with room to
+/// spare); [`run_instrumented`] rejects larger fleets up front rather
+/// than wrapping octets into colliding addresses.
+pub const MAX_CLIENTS: usize = 10_000;
+
+/// Address of client `i` (one unique /24 per client).
+fn client_addr(i: usize) -> Addr {
+    // 10.16.0.0 upward — disjoint from the 10.0.x.x experiment space.
+    Addr::new(10, 16 + (i / 200) as u8, (i % 200) as u8, 1)
+}
+
+/// Aggregate results of a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStats {
+    /// GET cycles expected (`clients × gets`).
+    pub expected: u64,
+    /// GET cycles completed within the horizon.
+    pub completed: u64,
+    /// Clients that finished every GET.
+    pub clients_done: usize,
+    /// Completion time of the last finished GET, nanoseconds.
+    pub last_completion_ns: u64,
+    /// FNV-1a digest over every client's completion-time series (client
+    /// order, nanosecond precision) — the byte-parity fingerprint of the
+    /// whole fleet trajectory.
+    pub completions_digest: u64,
+}
+
+/// Run one seed; returns the simulator summary plus fleet statistics.
+pub fn run_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, FleetStats) {
+    assert!(p.clients > 0 && p.gets > 0 && !p.paths.is_empty());
+    assert!(
+        p.clients <= MAX_CLIENTS,
+        "fleet addressing supports at most {MAX_CLIENTS} clients"
+    );
+    let mut sim = Simulator::new(seed);
+
+    // Server.
+    let response = p.response;
+    let mut server = Host::new("server", StackConfig::default());
+    server.listen(80, Box::new(move || Box::new(GetServer::new(response))));
+    let server_id = sim.add_node(Box::new(server));
+    let s_if = sim.add_iface(server_id, SERVER_ADDR, "eth0");
+
+    // The two routers around the shared bottleneck.
+    let r1_id = sim.add_node(Box::new(Router::new(11)));
+    let r2_id = sim.add_node(Box::new(Router::new(22)));
+    let r2_s = sim.add_iface(r2_id, Addr::new(10, 0, 9, 254), "toS");
+    sim.connect(r2_s, s_if, LinkCfg::mbps_ms(1000, 1));
+
+    let mut r1_ups = Vec::new();
+    let mut r2_ups = Vec::new();
+    for (i, cfg) in p.paths.iter().enumerate() {
+        let a = sim.add_iface(r1_id, Addr::new(10, 1, i as u8, 1), "up");
+        let b = sim.add_iface(r2_id, Addr::new(10, 1, i as u8, 2), "down");
+        sim.connect(a, b, cfg.clone());
+        r1_ups.push(a);
+        r2_ups.push(b);
+    }
+
+    // Clients: even indices run the in-kernel ndiffports PM, odd indices
+    // the userspace refresh controller — the fleet is heterogeneous.
+    let mut progress: Vec<Rc<RefCell<GetProgress>>> = Vec::with_capacity(p.clients);
+    let mut client_routes: Vec<(AddrPrefix, smapp_sim::IfaceId)> = Vec::with_capacity(p.clients);
+    for i in 0..p.clients {
+        let mut client = if i % 2 == 0 {
+            Host::new(format!("c{i}"), StackConfig::default())
+                .with_pm(Box::new(NdiffportsPm::new(p.n_subflows)))
+        } else {
+            Host::new(format!("c{i}"), StackConfig::default()).with_user(
+                ControllerRuntime::boxed(RefreshController::new(RefreshConfig {
+                    n: p.n_subflows,
+                    ..Default::default()
+                })),
+                LatencyModel::idle_host(),
+            )
+        };
+        let prog = Rc::new(RefCell::new(GetProgress::default()));
+        client.connect_at(
+            SimTime::from_millis(10) + p.stagger * i as u32,
+            None,
+            SERVER_ADDR,
+            80,
+            Box::new(GetClient {
+                remaining: p.gets - 1,
+                request_size: p.request,
+                dst: SERVER_ADDR,
+                dst_port: 80,
+                progress: Rc::clone(&prog),
+                stop_when_done: false,
+            }),
+        );
+        progress.push(prog);
+
+        let addr = client_addr(i);
+        let client_id = sim.add_node(Box::new(client));
+        let c_if = sim.add_iface(client_id, addr, "eth0");
+        let r_if = sim.add_iface(
+            r1_id,
+            Addr::new(addr.octets()[0], addr.octets()[1], addr.octets()[2], 254),
+            "toC",
+        );
+        sim.connect(c_if, r_if, p.access.clone());
+        client_routes.push((AddrPrefix::new(addr, 24), r_if));
+    }
+
+    {
+        let r1 = sim
+            .node_mut(r1_id)
+            .as_any_mut()
+            .downcast_mut::<Router>()
+            .unwrap();
+        r1.add_route("10.0.9.0/24".parse().unwrap(), r1_ups);
+        for (prefix, iface) in client_routes {
+            r1.add_route(prefix, vec![iface]);
+        }
+    }
+    {
+        let r2 = sim
+            .node_mut(r2_id)
+            .as_any_mut()
+            .downcast_mut::<Router>()
+            .unwrap();
+        r2.add_route("10.0.9.0/24".parse().unwrap(), vec![r2_s]);
+        // Return traffic to every client funnels back over the bottleneck.
+        r2.add_route("10.0.0.0/8".parse().unwrap(), r2_ups);
+    }
+
+    // Watchdog: the refresh controllers re-arm their poll timers for as
+    // long as they live, so the event queue never drains on its own. A
+    // 1 Hz script watches aggregate progress and stops the run as soon as
+    // every GET has completed — `ended_at` then reports the fleet's true
+    // completion second instead of the horizon.
+    let expected = p.clients as u64 * p.gets as u64;
+    let watch: Rc<Vec<Rc<RefCell<GetProgress>>>> = Rc::new(progress.clone());
+    for t in 1..=(p.horizon.as_secs_f64().ceil() as u64) {
+        let watch = Rc::clone(&watch);
+        sim.at(SimTime::from_secs(t), move |core| {
+            let done: u64 = watch.iter().map(|c| c.borrow().completed as u64).sum();
+            if done >= expected {
+                core.request_stop();
+            }
+        });
+    }
+
+    let summary = sim.run_until(p.horizon);
+
+    // Fold every client's completion series into the stats.
+    let mut completed = 0u64;
+    let mut clients_done = 0usize;
+    let mut last_ns = 0u64;
+    let mut digest_bytes: Vec<u8> = Vec::with_capacity(p.clients * 16);
+    for prog in &progress {
+        let prog = prog.borrow();
+        completed += prog.completed as u64;
+        if prog.completed >= p.gets {
+            clients_done += 1;
+        }
+        for t in &prog.completions {
+            let ns = t.as_nanos();
+            last_ns = last_ns.max(ns);
+            digest_bytes.extend_from_slice(&ns.to_le_bytes());
+        }
+        // Client delimiter keeps (a,bc) and (ab,c) distributions distinct.
+        digest_bytes.push(0xFF);
+    }
+    let stats = FleetStats {
+        expected,
+        completed,
+        clients_done,
+        last_completion_ns: last_ns,
+        completions_digest: fnv1a(&digest_bytes),
+    };
+    (summary, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Params {
+        Params {
+            clients: 24,
+            gets: 2,
+            response: 24 * 1024,
+            stagger: Duration::from_millis(5),
+            paths: vec![LinkCfg::mbps_ms(50, 5), LinkCfg::mbps_ms(50, 10)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fleet_completes_and_is_deterministic() {
+        let p = small();
+        let (s1, f1) = run_instrumented(&p, 3);
+        assert_eq!(
+            f1.completed, f1.expected,
+            "all GETs complete within the horizon: {f1:?}"
+        );
+        assert_eq!(f1.clients_done, p.clients);
+        assert!(f1.last_completion_ns > 0);
+        // The watchdog stops the run at the first whole second after the
+        // fleet finishes — well before the horizon.
+        assert_eq!(s1.reason, smapp_sim::StopReason::Requested);
+        assert!(s1.ended_at < p.horizon);
+        // The queue holds at least one pending item per client early on.
+        assert!(
+            s1.peak_queue > p.clients,
+            "fleet stresses the event queue: peak {} with {} clients",
+            s1.peak_queue,
+            p.clients
+        );
+        // Same seed ⇒ bit-identical trajectory (digest covers every
+        // completion instant of every client).
+        let (s2, f2) = run_instrumented(&p, 3);
+        assert_eq!(f1, f2);
+        assert_eq!(s1.events, s2.events);
+        assert_eq!(s1.ended_at, s2.ended_at);
+        // Different seed ⇒ different micro-trajectory.
+        let (_, f3) = run_instrumented(&p, 4);
+        assert_ne!(f1.completions_digest, f3.completions_digest);
+    }
+}

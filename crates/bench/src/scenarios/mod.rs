@@ -1,7 +1,9 @@
-//! Experiment scenarios — one module per paper artifact.
+//! Experiment scenarios — one module per paper artifact, plus workloads
+//! that go beyond the paper (the many-client [`fleet`]).
 
 pub mod fig2a;
 pub mod fig2b;
 pub mod fig2c;
 pub mod fig3;
+pub mod fleet;
 pub mod sec42;

@@ -61,6 +61,13 @@ pub struct Results {
 
 /// Run the baseline.
 pub fn run(p: &Params) -> Results {
+    run_instrumented(p).1
+}
+
+/// Like [`run`], additionally returning the simulator's
+/// [`smapp_sim::RunSummary`] (event count, peak queue depth) for the perf
+/// harness and sweep matrix.
+pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     let mut cfg = StackConfig::default();
     cfg.rto.max_retries = p.max_retries;
     let mut client =
@@ -129,11 +136,14 @@ pub fn run(p: &Params) -> Results {
         })
         .unwrap_or(0);
     let completed_at = (delivered >= p.transfer).then(|| summary.ended_at.as_secs_f64());
-    Results {
-        switch_at,
-        completed_at,
-        delivered,
-    }
+    (
+        summary,
+        Results {
+            switch_at,
+            completed_at,
+            delivered,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,115 @@
+//! Tier-1 determinism gate for the sweep engine: the same scenario×seed
+//! matrix run at `--jobs 1` and `--jobs 4` must produce byte-identical
+//! per-seed trajectories and identical `RunSummary`s — thread count and
+//! completion order must be unobservable in the results.
+
+use smapp_bench::scenarios::{fig2a, fig2c, fig3, fleet};
+use smapp_bench::sweep::{parity, Matrix, MatrixEntry, ScenarioRun};
+
+/// A miniature but heterogeneous matrix: three paper scenarios plus a
+/// small fleet, several seeds each, with deliberately uneven cell runtimes
+/// so parallel completion order differs from job order.
+fn mini_matrix() -> Matrix {
+    let entries = vec![
+        MatrixEntry::new("fig2a", "backup", vec![42, 43], |seed| {
+            let p = fig2a::Params {
+                seed,
+                transfer: 300_000,
+                ..Default::default()
+            };
+            let (summary, r) = fig2a::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!("rows={} delivered={}", r.rows.len(), r.delivered),
+            }
+        }),
+        MatrixEntry::new("fig2c", "refresh", vec![100, 101], |seed| {
+            let p = fig2c::Params {
+                transfer: 3_000_000,
+                ..Default::default()
+            };
+            let (summary, used) = fig2c::run_one_instrumented(&p, seed);
+            ScenarioRun {
+                summary,
+                trajectory: format!("end_ns={} paths={used}", summary.ended_at.as_nanos()),
+            }
+        }),
+        MatrixEntry::new("fig3", "kernel", vec![7], |seed| {
+            let p = fig3::Params {
+                seed,
+                gets: 15,
+                response: 64 * 1024,
+                ..Default::default()
+            };
+            let (summary, cdf, completed) = fig3::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!("joins={} completed={completed}", cdf.len()),
+            }
+        }),
+        MatrixEntry::new("fleet", "mixed", vec![1, 2], |seed| {
+            let p = fleet::Params {
+                clients: 30,
+                gets: 1,
+                response: 16 * 1024,
+                stagger: std::time::Duration::from_millis(3),
+                paths: vec![
+                    smapp_sim::LinkCfg::mbps_ms(50, 5),
+                    smapp_sim::LinkCfg::mbps_ms(50, 10),
+                ],
+                ..Default::default()
+            };
+            let (summary, stats) = fleet::run_instrumented(&p, seed);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "completed={}/{} digest={:016x}",
+                    stats.completed, stats.expected, stats.completions_digest
+                ),
+            }
+        }),
+    ];
+    Matrix { entries }
+}
+
+#[test]
+fn jobs1_and_jobs4_agree_bit_for_bit() {
+    let matrix = mini_matrix();
+    let seq = matrix.run(1);
+    let par = matrix.run(4);
+    assert_eq!(seq.len(), matrix.len());
+
+    // Engine-level verdict…
+    assert!(
+        parity(&seq, &par),
+        "parallel results diverged from sequential"
+    );
+
+    // …and the explicit per-cell statement of what that means: identical
+    // RunSummary (events, end time, stop reason, peak queue) and
+    // byte-identical trajectory strings, in identical order.
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(
+            (a.scenario, a.variant, a.seed),
+            (b.scenario, b.variant, b.seed),
+            "result order must be stable"
+        );
+        assert_eq!(
+            a.run.summary, b.run.summary,
+            "{}/{} seed {}: RunSummary differs",
+            a.scenario, a.variant, a.seed
+        );
+        assert_eq!(
+            a.run.trajectory.as_bytes(),
+            b.run.trajectory.as_bytes(),
+            "{}/{} seed {}: trajectory differs",
+            a.scenario,
+            a.variant,
+            a.seed
+        );
+    }
+
+    // Rerunning parallel again is also stable (no hidden global state).
+    let par2 = matrix.run(4);
+    assert!(parity(&par, &par2));
+}

@@ -76,7 +76,11 @@ impl ControlApi<'_, '_> {
 
 /// Application-specific subflow management logic (the paper's §4 use
 /// cases implement this).
-pub trait SubflowController {
+///
+/// `Send` (propagated to the [`UserProcess`] boundary through
+/// [`ControllerRuntime`]): controllers are plain data that may be built on
+/// one thread and run on another, one world per thread.
+pub trait SubflowController: Send {
     /// Event mask to subscribe with (default: everything).
     fn subscription(&self) -> u32 {
         EVENT_MASK_ALL

@@ -314,7 +314,11 @@ pub trait StackView {
 }
 
 /// A path manager plugged into the stack.
-pub trait PathManagerHook {
+///
+/// `Send` so a pre-built kernel PM can travel inside a scenario-builder
+/// closure to a sweep worker thread; once plugged into a host it is only
+/// ever driven by that world's thread.
+pub trait PathManagerHook: Send {
     /// Handle one stack event, optionally queueing actions.
     fn on_event(&mut self, ev: &PmEvent, view: &dyn StackView, actions: &mut PmActions);
 

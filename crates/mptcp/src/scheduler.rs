@@ -75,15 +75,23 @@ pub struct RoundRobin {
 
 impl Scheduler for RoundRobin {
     fn select(&mut self, candidates: &[SchedCandidate]) -> Option<SubflowId> {
-        if candidates.is_empty() {
-            return None;
+        // Allocation-free successor pick: one scan tracking the smallest id
+        // overall (wrap-around target) and the smallest id greater than the
+        // previous pick — equivalent to sorting and taking the next entry,
+        // without building a Vec per scheduling decision.
+        let mut first: Option<SubflowId> = None;
+        let mut succ: Option<SubflowId> = None;
+        for c in candidates {
+            if first.is_none_or(|f| c.id < f) {
+                first = Some(c.id);
+            }
+            if let Some(last) = self.last {
+                if c.id > last && succ.is_none_or(|s| c.id < s) {
+                    succ = Some(c.id);
+                }
+            }
         }
-        let mut ids: Vec<SubflowId> = candidates.iter().map(|c| c.id).collect();
-        ids.sort_unstable();
-        let next = match self.last {
-            Some(last) => ids.iter().copied().find(|&id| id > last).unwrap_or(ids[0]),
-            None => ids[0],
-        };
+        let next = succ.or(first)?;
         self.last = Some(next);
         Some(next)
     }

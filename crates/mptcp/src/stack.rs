@@ -82,7 +82,12 @@ pub fn parse_timer_token(t: u64) -> Option<(TimerKind, usize, SubflowId, u64)> {
 
 /// Application factory used by listeners: one app instance per accepted
 /// connection.
-pub type AppFactory = Box<dyn FnMut() -> Box<dyn App>>;
+///
+/// Factories are `Send` — they are part of a scenario's *builder* surface,
+/// which the sweep engine may move to a worker thread before the world is
+/// constructed. The [`App`]s a factory returns need not be `Send`: apps
+/// live and die on the world's one thread.
+pub type AppFactory = Box<dyn FnMut() -> Box<dyn App> + Send>;
 
 /// The per-host TCP/MPTCP stack.
 pub struct HostStack {

@@ -112,7 +112,11 @@ impl<'a> UserCtx<'a> {
 ///
 /// The SMAPP subflow controllers (crate `smapp`) implement this trait via
 /// their controller runtime.
-pub trait UserProcess {
+///
+/// `Send` so a configured controller can travel inside a scenario-builder
+/// closure to a sweep worker thread; at run time it stays confined to the
+/// one thread driving its world.
+pub trait UserProcess: Send {
     /// Called once at host start (subscribe to events here).
     fn on_start(&mut self, ctx: &mut UserCtx<'_>) {
         let _ = ctx;

@@ -42,6 +42,19 @@ pub struct Iface {
 ///
 /// All callbacks receive a [`Ctx`] scoped to this node. Implementations must
 /// be deterministic: any randomness must come from `ctx.rng()`.
+///
+/// # Threading
+///
+/// `Node` deliberately has **no** `Send` bound: a whole simulation world
+/// (simulator, nodes, apps) is *thread-confined* — built, run, and read
+/// back on one thread. This keeps `Rc`/`RefCell` available to node and app
+/// internals (e.g. the chained-GET progress record shared between
+/// successive client apps). Multi-core execution happens one level up:
+/// the sweep engine dispatches *scenario-builder closures* (which are
+/// `Send`) to worker threads, and each worker constructs and runs its own
+/// world locally. Things that cross the thread boundary — builder
+/// closures, trace-sink constructors ([`crate::trace::TraceSink`] is
+/// `Send`), and run results — carry `Send` bounds instead.
 pub trait Node {
     /// Called once at simulation start (time zero), in node-creation order.
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

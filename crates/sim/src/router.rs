@@ -10,7 +10,8 @@
 
 use std::any::Any;
 
-use crate::addr::AddrPrefix;
+use crate::addr::{Addr, AddrPrefix};
+use crate::hash::FxHashMap;
 use crate::node::{IfaceId, Node};
 use crate::packet::Packet;
 use crate::world::Ctx;
@@ -28,6 +29,12 @@ pub struct Route {
 #[derive(Debug)]
 pub struct Router {
     routes: Vec<Route>,
+    /// Memoized longest-prefix-match result per destination address. With
+    /// per-client routes (the fleet workload installs one /24 per client)
+    /// the linear LPM scan would otherwise be an O(routes) cost on every
+    /// forwarded packet. Purely a cache: it never changes which route wins,
+    /// so trajectories are identical with or without it.
+    lpm_cache: FxHashMap<Addr, Option<usize>>,
     salt: u64,
     /// Packets forwarded, for reporting.
     pub forwarded: u64,
@@ -42,6 +49,7 @@ impl Router {
     pub fn new(salt: u64) -> Self {
         Router {
             routes: Vec::new(),
+            lpm_cache: FxHashMap::default(),
             salt,
             forwarded: 0,
             no_route: 0,
@@ -54,22 +62,49 @@ impl Router {
     pub fn add_route(&mut self, prefix: AddrPrefix, egress: Vec<IfaceId>) -> &mut Self {
         assert!(!egress.is_empty(), "route needs at least one egress");
         self.routes.push(Route { prefix, egress });
+        // A new route can change any memoized lookup.
+        self.lpm_cache.clear();
         self
+    }
+
+    /// Longest-prefix match over the routing table (uncached).
+    fn lpm(&self, dst: Addr) -> Option<usize> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.prefix.contains(dst))
+            .max_by_key(|(_, r)| r.prefix.len())
+            .map(|(i, _)| i)
+    }
+
+    /// ECMP selection within a matched route.
+    fn pick_within(&self, route: usize, pkt: &Packet) -> IfaceId {
+        let egress = &self.routes[route].egress;
+        if egress.len() == 1 {
+            egress[0]
+        } else {
+            let h = pkt.flow_key().ecmp_hash(self.salt);
+            egress[h as usize % egress.len()]
+        }
     }
 
     /// Pick the egress interface for `pkt`, if any route matches.
     pub fn select_egress(&self, pkt: &Packet) -> Option<IfaceId> {
-        let best = self
-            .routes
-            .iter()
-            .filter(|r| r.prefix.contains(pkt.dst))
-            .max_by_key(|r| r.prefix.len())?;
-        if best.egress.len() == 1 {
-            Some(best.egress[0])
-        } else {
-            let h = pkt.flow_key().ecmp_hash(self.salt);
-            Some(best.egress[h as usize % best.egress.len()])
-        }
+        self.lpm(pkt.dst).map(|i| self.pick_within(i, pkt))
+    }
+
+    /// Like [`Router::select_egress`] but memoizing the prefix match per
+    /// destination — the forwarding hot path.
+    fn select_egress_cached(&mut self, pkt: &Packet) -> Option<IfaceId> {
+        let route = match self.lpm_cache.get(&pkt.dst) {
+            Some(&cached) => cached,
+            None => {
+                let computed = self.lpm(pkt.dst);
+                self.lpm_cache.insert(pkt.dst, computed);
+                computed
+            }
+        };
+        route.map(|i| self.pick_within(i, pkt))
     }
 }
 
@@ -80,7 +115,7 @@ impl Node for Router {
             return;
         }
         pkt.ttl -= 1;
-        match self.select_egress(&pkt) {
+        match self.select_egress_cached(&pkt) {
             Some(egress) => {
                 // A route pointing back out of the ingress interface would
                 // loop the packet on a point-to-point link; treat as no route.
@@ -154,6 +189,25 @@ mod tests {
             seen.insert(first);
         }
         assert_eq!(seen.len(), 4, "64 flows should cover all 4 paths");
+    }
+
+    #[test]
+    fn cached_lookup_matches_scan_and_survives_route_adds() {
+        let mut r = Router::new(5);
+        r.add_route("10.0.0.0/8".parse().unwrap(), vec![IfaceId(1)]);
+        let p = pkt_with_ports(Addr::new(10, 1, 2, 3), 1, 2);
+        assert_eq!(r.select_egress_cached(&p), r.select_egress(&p));
+        assert_eq!(r.select_egress_cached(&p), Some(IfaceId(1)));
+        // Adding a longer prefix must invalidate the memoized match.
+        r.add_route("10.1.0.0/16".parse().unwrap(), vec![IfaceId(2)]);
+        assert_eq!(r.select_egress_cached(&p), Some(IfaceId(2)));
+        assert_eq!(r.select_egress_cached(&p), r.select_egress(&p));
+        // Negative results are memoized too, and stay consistent.
+        let miss = pkt_with_ports(Addr::new(192, 168, 0, 1), 1, 2);
+        assert_eq!(r.select_egress_cached(&miss), None);
+        assert_eq!(r.select_egress_cached(&miss), None);
+        r.add_route("0.0.0.0/0".parse().unwrap(), vec![IfaceId(3)]);
+        assert_eq!(r.select_egress_cached(&miss), Some(IfaceId(3)));
     }
 
     #[test]

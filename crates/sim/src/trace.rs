@@ -66,7 +66,12 @@ pub struct TraceEvent<'a> {
 }
 
 /// Observer of packet events.
-pub trait TraceSink {
+///
+/// Sinks are `Send` so that scenario-builder closures that construct a
+/// sink (e.g. the `bench::sweep` job matrix) can be dispatched to worker
+/// threads. Each sink is still *used* by exactly one thread: the world
+/// that owns it is thread-confined (see the crate docs on threading).
+pub trait TraceSink: Send {
     /// Record one event. Called synchronously from the simulation loop;
     /// implementations should be cheap.
     fn record(&mut self, ev: &TraceEvent<'_>);

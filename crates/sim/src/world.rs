@@ -96,7 +96,7 @@ pub enum StopReason {
 }
 
 /// Summary returned by [`Simulator::run`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSummary {
     /// Why the run ended.
     pub reason: StopReason,
