@@ -1,0 +1,61 @@
+//! `perf_gate` — the CI perf/parity regression gate.
+//!
+//! Reads a `perf_report` JSON (typically `/tmp/perf_smoke.json` from the
+//! CI smoke step) and fails the build when a hard invariant regressed:
+//! parallel-sweep parity, fig2c baseline-trajectory parity, registered
+//! scenarios missing from the matrix, or aggregate throughput collapsing
+//! below a generous fraction of the committed baseline (see
+//! `smapp_bench::gate` for the exact rules).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate [--report PATH] [--min-ratio X]
+//! ```
+//!
+//! `--report` defaults to `/tmp/perf_smoke.json`; `--min-ratio` scales the
+//! committed baseline (default 0.05 — only order-of-magnitude collapses
+//! fail; 0 disables the throughput check).
+
+use smapp_bench::gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = args
+        .iter()
+        .position(|a| a == "--report")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "/tmp/perf_smoke.json".to_string());
+    let min_ratio = args
+        .iter()
+        .position(|a| a == "--min-ratio")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<f64>().expect("--min-ratio takes a number"))
+        .unwrap_or(gate::DEFAULT_MIN_RATIO);
+
+    let json = match std::fs::read_to_string(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {report}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let verdict = gate::check(&json, min_ratio);
+    println!(
+        "perf_gate: {report}: {} scenarios, {:.0} events/sec aggregate, \
+         parallel_parity={:?}, fig2c_parity={:?}",
+        verdict.scenario_names.len(),
+        verdict.events_per_sec,
+        verdict.parallel_parity,
+        verdict.fig2c_parity,
+    );
+    if verdict.passed() {
+        println!("perf_gate: PASS");
+        return;
+    }
+    for f in &verdict.failures {
+        eprintln!("perf_gate: FAIL: {f}");
+    }
+    std::process::exit(1);
+}

@@ -1,10 +1,11 @@
 //! `perf_report` — the perf trajectory's measurement binary.
 //!
 //! Drives the full scenario×seed matrix (fig2a, fig2b, fig2c, fig3, §4.2,
-//! fleet) through the deterministic multi-core sweep engine, twice: once at
-//! `--jobs 1` for single-thread throughput and allocations/event, once at
-//! `--jobs N` for aggregate matrix wall-time — asserting the two passes
-//! produce bit-identical trajectories. Writes `BENCH_PR3.json`.
+//! fleet, plus the network-dynamics trio handover/flap/middlebox) through
+//! the deterministic multi-core sweep engine, twice: once at `--jobs 1`
+//! for single-thread throughput and allocations/event, once at `--jobs N`
+//! for aggregate matrix wall-time — asserting the two passes produce
+//! bit-identical trajectories. Writes `BENCH_PR4.json`.
 //!
 //! Usage:
 //!
@@ -48,7 +49,7 @@ fn main() {
                     .to_string_lossy()
                     .into_owned()
             } else {
-                "BENCH_PR3.json".to_string()
+                "BENCH_PR4.json".to_string()
             }
         });
 

@@ -13,18 +13,30 @@
 //! Each binary prints plot-ready series (`label\tx\tF(x)` rows) plus a
 //! summary block; Criterion micro/macro benchmarks live under `benches/`.
 //!
+//! Beyond the paper, the scripted network-dynamics scenarios (built on
+//! `smapp_sim::dynamics`) open the networks-that-change axis:
+//! [`scenarios::handover`] (break-before-make WiFi→LTE mobility),
+//! [`scenarios::flap`] (a periodically failing ECMP bottleneck routed
+//! around by the refresh controller) and [`scenarios::middlebox`] (an
+//! MPTCP-option-stripping hop forcing graceful plain-TCP fallback) —
+//! plus the many-client [`scenarios::fleet`] workload.
+//!
 //! The `perf_report` binary ([`perf`]) drives the full scenario×seed
-//! matrix — every paper artifact above plus the beyond-paper many-client
-//! [`scenarios::fleet`] workload — through the deterministic multi-core
-//! [`sweep`] engine (`--jobs N`), measures wall time, events/sec, peak
-//! event-queue depth and allocations/event ([`count_alloc`]), writes
-//! `BENCH_PR3.json`, and verifies both that parallel execution reproduces
-//! the sequential trajectories bit-for-bit and that the fig2c per-seed
-//! trajectory is identical to the recorded `524cdc6` baseline.
+//! matrix — every paper artifact above plus the beyond-paper workloads —
+//! through the deterministic multi-core [`sweep`] engine (`--jobs N`),
+//! measures wall time, events/sec, peak event-queue depth and
+//! allocations/event ([`count_alloc`]), writes `BENCH_PR4.json`, and
+//! verifies both that parallel execution reproduces the sequential
+//! trajectories bit-for-bit and that the fig2c per-seed trajectory is
+//! identical to the recorded `524cdc6` baseline. The `perf_gate` binary
+//! ([`gate`]) re-checks those invariants (plus scenario coverage and a
+//! generous throughput floor) over the CI smoke report and fails the
+//! build on regression.
 
 #![warn(missing_docs)]
 
 pub mod count_alloc;
+pub mod gate;
 pub mod perf;
 pub mod pms;
 pub mod scenarios;

@@ -1,0 +1,222 @@
+//! Flap — a periodically failing ECMP bottleneck path under the scripted
+//! dynamics engine, routed around by the §4.4 refresh controller.
+//!
+//! The §4.4 fabric (four parallel paths behind flow-hashing routers), but
+//! one path now *flaps*: a [`smapp_sim::DynamicsScript`] takes the whole
+//! link administratively down and back up on a fixed period — a carrier
+//! losing and regaining light, invisible to the routers' ECMP hash, which
+//! keeps assigning flows onto the dead path. The refresh controller's
+//! pacing-rate poll is exactly the defence the paper proposes: every
+//! 2.5 s it kills the slowest subflow and redraws a new source port,
+//! re-establishing over (with high probability) a healthy path.
+//!
+//! Because the flaps are calendar-queue events, the whole run — flap
+//! instants, refresh decisions, completion time — is bit-identical per
+//! seed at any sweep `--jobs` count.
+
+use smapp::{controller_of, ControllerRuntime, RefreshConfig, RefreshController};
+use smapp_mptcp::apps::{BulkSender, Sink};
+use smapp_mptcp::StackConfig;
+use smapp_netlink::LatencyModel;
+use smapp_pm::topo::{self, SERVER_ADDR};
+use smapp_pm::Host;
+use smapp_sim::{DynAction, DynamicsScript, LinkCfg, SimTime};
+
+/// Parameters of one flap run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// RNG seed.
+    pub seed: u64,
+    /// Transfer size in bytes.
+    pub transfer: u64,
+    /// Subflows the refresh controller maintains (paper: 5).
+    pub n: u8,
+    /// First instant the flapping path goes down.
+    pub first_down: SimTime,
+    /// How long the path stays down per flap.
+    pub down_for: std::time::Duration,
+    /// Flap period (down instant to next down instant).
+    pub period: std::time::Duration,
+    /// Number of down/up cycles before the path stays up for good.
+    pub flaps: u32,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            seed: 31,
+            transfer: 20_000_000,
+            n: 5,
+            first_down: SimTime::from_secs(2),
+            down_for: std::time::Duration::from_secs(2),
+            period: std::time::Duration::from_secs(5),
+            flaps: 4,
+            horizon: SimTime::from_secs(600),
+        }
+    }
+}
+
+/// Results of one flap run.
+#[derive(Debug)]
+pub struct Results {
+    /// Bytes the server received.
+    pub delivered: u64,
+    /// Completion time, if the transfer finished within the horizon.
+    pub completed_at: Option<f64>,
+    /// Subflow refreshes the controller performed: `(seconds, killed
+    /// subflow id, its pacing rate)`.
+    pub refreshes: Vec<(f64, u8, u64)>,
+    /// Distinct bottleneck paths that carried meaningful traffic.
+    pub paths_used: usize,
+}
+
+/// Run one flap experiment.
+pub fn run(p: &Params) -> Results {
+    run_instrumented(p).1
+}
+
+/// Like [`run`], additionally returning the simulator's
+/// [`smapp_sim::RunSummary`] for the perf harness and sweep matrix.
+pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
+    let mut client = Host::new("client", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(RefreshController::new(RefreshConfig {
+            n: p.n,
+            ..Default::default()
+        })),
+        LatencyModel::idle_host(),
+    );
+    client.connect_at(
+        SimTime::from_millis(10),
+        None,
+        SERVER_ADDR,
+        80,
+        Box::new(
+            BulkSender::new(p.transfer)
+                .close_when_done()
+                .stop_sim_when_acked(),
+        ),
+    );
+    let mut server = Host::new("server", StackConfig::default());
+    server.listen(
+        80,
+        Box::new(|| {
+            Box::new(Sink {
+                close_on_eof: true,
+                ..Default::default()
+            })
+        }),
+    );
+    // The §4.4 fabric: 4 × 8 Mb/s, 10/20/30/40 ms.
+    let path_cfgs: Vec<LinkCfg> = (1..=4).map(|i| LinkCfg::mbps_ms(8, 10 * i)).collect();
+    let net = topo::ecmp(p.seed, client, server, &path_cfgs);
+    let mut sim = net.sim;
+
+    // Flap the first (fastest) bottleneck path: down for `down_for` every
+    // `period`, `flaps` times.
+    let victim = net.paths[0];
+    let mut script = DynamicsScript::new();
+    for k in 0..p.flaps {
+        let down_at = p.first_down + p.period * k;
+        script.push(
+            down_at,
+            DynAction::LinkAdmin {
+                link: victim,
+                up: false,
+            },
+        );
+        script.push(
+            down_at + p.down_for,
+            DynAction::LinkAdmin {
+                link: victim,
+                up: true,
+            },
+        );
+    }
+    sim.install_dynamics(script);
+
+    let summary = sim.run_until(p.horizon);
+
+    let delivered = topo::host(&sim, net.server)
+        .stack
+        .connections()
+        .next()
+        .map(|c| {
+            c.app()
+                .unwrap()
+                .as_any()
+                .downcast_ref::<Sink>()
+                .unwrap()
+                .received
+        })
+        .unwrap_or(0);
+    let ctrl = controller_of::<RefreshController>(topo::host(&sim, net.client)).unwrap();
+    let refreshes = ctrl
+        .refreshes
+        .iter()
+        .map(|(t, id, rate)| (t.as_secs_f64(), *id, *rate))
+        .collect();
+    let paths_used = net
+        .paths
+        .iter()
+        .filter(|&&l| {
+            sim.core.link_stats(l, smapp_sim::Dir::AtoB).bytes_delivered > p.transfer / 100
+        })
+        .count();
+    let completed_at = (delivered >= p.transfer).then(|| summary.ended_at.as_secs_f64());
+    (
+        summary,
+        Results {
+            delivered,
+            completed_at,
+            refreshes,
+            paths_used,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flap_completes_with_refresh_reestablishment() {
+        // 10 MB needs several seconds on the 32 Mb/s fabric, so the flaps
+        // (2 s down every 5 s from t=2 s) land mid-transfer and starve
+        // whatever subflows the hash put on the victim path.
+        let p = Params {
+            transfer: 10_000_000,
+            ..Default::default()
+        };
+        let r = run(&p);
+        assert_eq!(r.delivered, p.transfer, "transfer survives the flaps");
+        let done = r.completed_at.expect("completed within horizon");
+        assert!(
+            !r.refreshes.is_empty(),
+            "the flapping path forces at least one refresh"
+        );
+        assert!(
+            r.paths_used >= 2,
+            "refresh spreads over healthy paths: {} used",
+            r.paths_used
+        );
+        // 10 MB over a >=24 Mb/s healthy residual fabric: well under the
+        // horizon even with the flap outages.
+        assert!(done < 120.0, "completed in {done:.1}s");
+    }
+
+    #[test]
+    fn flap_is_deterministic_per_seed() {
+        let p = Params {
+            transfer: 2_000_000,
+            flaps: 2,
+            ..Default::default()
+        };
+        let (s1, r1) = run_instrumented(&p);
+        let (s2, r2) = run_instrumented(&p);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.refreshes, r2.refreshes);
+        assert_eq!(r1.completed_at, r2.completed_at);
+    }
+}

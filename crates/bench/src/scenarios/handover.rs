@@ -1,0 +1,234 @@
+//! Handover — break-before-make WiFi→LTE mobility under the scripted
+//! dynamics engine.
+//!
+//! The §4.2 story taken to its mobile conclusion: a dual-homed smartphone
+//! uploads over WiFi; as the user walks away the path first *degrades*
+//! (scripted loss onset) and then *disappears* (scripted interface-down —
+//! the radio loses its association). The smart-backup controller reacts to
+//! whichever signal lands first: the backed-off RTO crossing the 1 s
+//! threshold (the paper's soft switch), or the hard `IfaceDown` subflow
+//! death (mobility). Either way the cellular subflow — never established
+//! beforehand, saving energy and radio resources — is activated and the
+//! transfer completes over LTE.
+//!
+//! Everything that changes mid-run is a [`smapp_sim::DynamicsScript`]
+//! entry executed through the calendar event queue, so per-seed
+//! trajectories are bit-identical across reruns and `--jobs N` sweeps.
+
+use std::time::Duration;
+
+use smapp::{controller_of, BackupConfig, BackupController, ControllerRuntime};
+use smapp_mptcp::apps::{BulkSender, Sink};
+use smapp_mptcp::StackConfig;
+use smapp_netlink::LatencyModel;
+use smapp_pm::topo::{self, CLIENT_ADDR1, CLIENT_ADDR2, SERVER_ADDR};
+use smapp_pm::Host;
+use smapp_sim::{DynAction, DynamicsScript, LinkCfg, LossModel, SimTime};
+
+use crate::trace::SeqTraceSink;
+
+/// Parameters of one handover run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// RNG seed.
+    pub seed: u64,
+    /// When the WiFi path starts degrading.
+    pub loss_onset: SimTime,
+    /// WiFi loss ratio after onset.
+    pub loss: f64,
+    /// When the WiFi interface goes down entirely (the hard break).
+    pub break_at: SimTime,
+    /// Controller RTO threshold for the soft switch (paper: 1 s).
+    pub rto_threshold: Duration,
+    /// Transfer size in bytes.
+    pub transfer: u64,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            seed: 21,
+            loss_onset: SimTime::from_secs(1),
+            loss: 0.30,
+            break_at: SimTime::from_secs(5),
+            rto_threshold: Duration::from_secs(1),
+            transfer: 2_000_000,
+            horizon: SimTime::from_secs(120),
+        }
+    }
+}
+
+/// Results of one handover run.
+#[derive(Debug)]
+pub struct Results {
+    /// When the controller activated the cellular subflow (seconds).
+    pub switch_at: Option<f64>,
+    /// Bytes the server received.
+    pub delivered: u64,
+    /// Completion time, if the transfer finished within the horizon.
+    pub completed_at: Option<f64>,
+    /// `(seconds, relative data seq, path)` trace rows (path 0 = WiFi,
+    /// 1 = LTE).
+    pub rows: Vec<(f64, u64, usize)>,
+}
+
+/// Run one handover.
+pub fn run(p: &Params) -> Results {
+    run_instrumented(p).1
+}
+
+/// Like [`run`], additionally returning the simulator's
+/// [`smapp_sim::RunSummary`] for the perf harness and sweep matrix.
+pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
+    let controller = BackupController::new(BackupConfig {
+        rto_threshold: p.rto_threshold,
+        backup_src: CLIENT_ADDR2, // the cellular interface
+    });
+    let mut client = Host::new("smartphone", StackConfig::default()).with_user(
+        ControllerRuntime::boxed(controller),
+        LatencyModel::idle_host(),
+    );
+    client.connect_at(
+        SimTime::from_millis(10),
+        Some(CLIENT_ADDR1), // start on WiFi
+        SERVER_ADDR,
+        80,
+        Box::new(
+            BulkSender::new(p.transfer)
+                .close_when_done()
+                .stop_sim_when_acked(),
+        ),
+    );
+    let mut server = Host::new("server", StackConfig::default());
+    server.listen(
+        80,
+        Box::new(|| {
+            Box::new(Sink {
+                close_on_eof: true,
+                ..Default::default()
+            })
+        }),
+    );
+    let net = topo::two_path(
+        p.seed,
+        client,
+        server,
+        LinkCfg::mbps_ms(5, 10), // WiFi
+        LinkCfg::mbps_ms(5, 40), // LTE: more delay
+    );
+    let mut sim = net.sim;
+    sim.core
+        .set_trace(Box::new(SeqTraceSink::new(vec![net.link1, net.link2])));
+
+    // The mobility script: degrade, then hard-break, the WiFi path.
+    sim.install_dynamics(
+        DynamicsScript::new()
+            .at(
+                p.loss_onset,
+                DynAction::SetLoss {
+                    link: net.link1,
+                    dir: None,
+                    loss: LossModel::Bernoulli(p.loss),
+                },
+            )
+            .at(
+                p.break_at,
+                DynAction::IfaceAdmin {
+                    iface: net.client_if1,
+                    up: false,
+                },
+            ),
+    );
+    let summary = sim.run_until(p.horizon);
+
+    let sink = sim.core.take_trace().expect("trace installed");
+    let rows = sink
+        .as_any()
+        .downcast_ref::<SeqTraceSink>()
+        .expect("seq sink")
+        .relative_rows();
+    let phone = topo::host(&sim, net.client);
+    let ctrl = controller_of::<BackupController>(phone).unwrap();
+    let switch_at = ctrl.switchovers.first().map(|(t, _, _)| t.as_secs_f64());
+    let delivered = topo::host(&sim, net.server)
+        .stack
+        .connections()
+        .next()
+        .map(|c| {
+            c.app()
+                .unwrap()
+                .as_any()
+                .downcast_ref::<Sink>()
+                .unwrap()
+                .received
+        })
+        .unwrap_or(0);
+    let completed_at = (delivered >= p.transfer).then(|| summary.ended_at.as_secs_f64());
+    (
+        summary,
+        Results {
+            switch_at,
+            delivered,
+            completed_at,
+            rows,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handover_activates_backup_and_completes() {
+        // 2 MB at 5 Mb/s needs >3 s of wire time, so the 1 s loss onset
+        // and 5 s hard break both land mid-transfer.
+        let p = Params::default();
+        let r = run(&p);
+        let switch = r.switch_at.expect("controller activated the backup");
+        assert!(
+            switch > p.loss_onset.as_secs_f64(),
+            "switch after onset, got {switch}"
+        );
+        assert!(switch < 30.0, "switch within seconds, got {switch}");
+        assert_eq!(r.delivered, p.transfer, "transfer completed over LTE");
+        // After the hard break nothing more flows on the WiFi path.
+        let break_s = p.break_at.as_secs_f64();
+        assert!(
+            r.rows
+                .iter()
+                .all(|(t, _, path)| *path != 0 || *t <= break_s),
+            "no WiFi traffic after the interface went down"
+        );
+    }
+
+    #[test]
+    fn hard_break_before_soft_switch_still_hands_over() {
+        // Break the WiFi interface *before* the RTO can cross the 1 s
+        // threshold: the controller must react to the IfaceDown subflow
+        // death instead of the timeout signal.
+        let p = Params {
+            loss_onset: SimTime::from_millis(900),
+            break_at: SimTime::from_secs(1),
+            ..Default::default()
+        };
+        let r = run(&p);
+        assert!(r.switch_at.is_some(), "hard break still activates backup");
+        assert_eq!(r.delivered, p.transfer);
+    }
+
+    #[test]
+    fn handover_is_deterministic_per_seed() {
+        let p = Params {
+            transfer: 300_000,
+            ..Default::default()
+        };
+        let (s1, r1) = run_instrumented(&p);
+        let (s2, r2) = run_instrumented(&p);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.rows, r2.rows);
+        assert_eq!(r1.switch_at, r2.switch_at);
+    }
+}

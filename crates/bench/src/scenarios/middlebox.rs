@@ -1,0 +1,197 @@
+//! Middlebox — an MPTCP-option-stripping hop and the graceful plain-TCP
+//! fallback.
+//!
+//! The deployment hazard that motivates MPTCP's fallback design (§1 of the
+//! paper; RFC 6824 §3.7): a "transparent" middlebox that normalizes TCP by
+//! removing options it does not understand. Here the two-path topology's
+//! router is toggled into option-stripping mode by a
+//! [`smapp_sim::DynamicsScript`] command: every forwarded TCP segment
+//! loses its kind-30 options, the `MP_CAPABLE` handshake degrades to plain
+//! TCP, the path manager's join attempts are refused, and the transfer
+//! still completes — on exactly one subflow.
+//!
+//! The `clear` variant runs the identical world with stripping off, as the
+//! control: MPTCP negotiates, the backup join succeeds, two subflows live.
+
+use smapp_mptcp::apps::{BulkSender, Sink};
+use smapp_mptcp::StackConfig;
+use smapp_pm::topo::{self, CLIENT_ADDR1, CLIENT_ADDR2, SERVER_ADDR};
+use smapp_pm::Host;
+use smapp_sim::{DynAction, DynamicsScript, LinkCfg, NodeCommand, Router, SimTime};
+
+use crate::pms::BackupFlagPm;
+
+/// Parameters of one middlebox run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether the router strips MPTCP options.
+    pub strip: bool,
+    /// When stripping switches on (default: before the first SYN).
+    pub strip_at: SimTime,
+    /// Transfer size in bytes.
+    pub transfer: u64,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            seed: 41,
+            strip: true,
+            strip_at: SimTime::ZERO,
+            transfer: 2_000_000,
+            horizon: SimTime::from_secs(120),
+        }
+    }
+}
+
+/// Results of one middlebox run.
+#[derive(Debug)]
+pub struct Results {
+    /// Did the client connection end up in plain-TCP fallback?
+    pub fallback: bool,
+    /// Live + ever-created subflows on the client connection.
+    pub subflows: usize,
+    /// MPTCP options the router removed.
+    pub options_stripped: u64,
+    /// Bytes the server received.
+    pub delivered: u64,
+    /// Completion time, if the transfer finished within the horizon.
+    pub completed_at: Option<f64>,
+}
+
+/// Run one middlebox experiment.
+pub fn run(p: &Params) -> Results {
+    run_instrumented(p).1
+}
+
+/// Like [`run`], additionally returning the simulator's
+/// [`smapp_sim::RunSummary`] for the perf harness and sweep matrix.
+pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
+    // The client tries to add a subflow over its second interface as soon
+    // as the connection establishes — which a fallback connection refuses.
+    let mut client = Host::new("client", StackConfig::default())
+        .with_pm(Box::new(BackupFlagPm::new(CLIENT_ADDR2)));
+    client.connect_at(
+        SimTime::from_millis(10),
+        Some(CLIENT_ADDR1),
+        SERVER_ADDR,
+        80,
+        Box::new(
+            BulkSender::new(p.transfer)
+                .close_when_done()
+                .stop_sim_when_acked(),
+        ),
+    );
+    let mut server = Host::new("server", StackConfig::default());
+    server.listen(
+        80,
+        Box::new(|| {
+            Box::new(Sink {
+                close_on_eof: true,
+                ..Default::default()
+            })
+        }),
+    );
+    let net = topo::two_path(
+        p.seed,
+        client,
+        server,
+        LinkCfg::mbps_ms(5, 10),
+        LinkCfg::mbps_ms(5, 10),
+    );
+    let mut sim = net.sim;
+    if p.strip {
+        sim.install_dynamics(DynamicsScript::new().at(
+            p.strip_at,
+            DynAction::Command {
+                node: net.router,
+                cmd: NodeCommand::StripMptcp(true),
+            },
+        ));
+    }
+    let summary = sim.run_until(p.horizon);
+
+    let conn_facts = topo::host(&sim, net.client)
+        .stack
+        .connections()
+        .next()
+        .map(|c| (c.is_fallback(), c.subflow_count()));
+    let (fallback, subflows) = conn_facts.unwrap_or((false, 0));
+    let options_stripped = sim
+        .node(net.router)
+        .as_any()
+        .downcast_ref::<Router>()
+        .expect("router node")
+        .options_stripped;
+    let delivered = topo::host(&sim, net.server)
+        .stack
+        .connections()
+        .next()
+        .map(|c| {
+            c.app()
+                .unwrap()
+                .as_any()
+                .downcast_ref::<Sink>()
+                .unwrap()
+                .received
+        })
+        .unwrap_or(0);
+    let completed_at = (delivered >= p.transfer).then(|| summary.ended_at.as_secs_f64());
+    (
+        summary,
+        Results {
+            fallback,
+            subflows,
+            options_stripped,
+            delivered,
+            completed_at,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_hop_forces_single_subflow_fallback_that_completes() {
+        let p = Params {
+            transfer: 500_000,
+            ..Default::default()
+        };
+        let r = run(&p);
+        assert!(r.fallback, "client fell back to plain TCP");
+        assert_eq!(r.subflows, 1, "join refused: one subflow only");
+        assert!(r.options_stripped > 0, "the middlebox actually interfered");
+        assert_eq!(r.delivered, p.transfer, "graceful fallback completes");
+    }
+
+    #[test]
+    fn clear_control_negotiates_mptcp_with_two_subflows() {
+        let p = Params {
+            strip: false,
+            transfer: 500_000,
+            ..Default::default()
+        };
+        let r = run(&p);
+        assert!(!r.fallback, "MPTCP negotiated");
+        assert_eq!(r.subflows, 2, "backup join succeeded");
+        assert_eq!(r.options_stripped, 0);
+        assert_eq!(r.delivered, p.transfer);
+    }
+
+    #[test]
+    fn middlebox_is_deterministic_per_seed() {
+        let p = Params {
+            transfer: 300_000,
+            ..Default::default()
+        };
+        let (s1, _) = run_instrumented(&p);
+        let (s2, _) = run_instrumented(&p);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,9 +1,30 @@
 //! Experiment scenarios — one module per paper artifact, plus workloads
-//! that go beyond the paper (the many-client [`fleet`]).
+//! that go beyond the paper (the many-client [`fleet`] and the scripted
+//! network-dynamics trio [`handover`], [`flap`], [`middlebox`]).
 
 pub mod fig2a;
 pub mod fig2b;
 pub mod fig2c;
 pub mod fig3;
+pub mod flap;
 pub mod fleet;
+pub mod handover;
+pub mod middlebox;
 pub mod sec42;
+
+/// Every registered scenario, by module name. The scenario-coverage guard
+/// (`tests/scenario_coverage.rs`) asserts that this list matches the
+/// `pub mod` declarations above **and** that every entry appears in the
+/// `perf_report --smoke` matrix — a new scenario cannot be added without
+/// being benchmarked.
+pub const ALL: &[&str] = &[
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig3",
+    "flap",
+    "fleet",
+    "handover",
+    "middlebox",
+    "sec42",
+];

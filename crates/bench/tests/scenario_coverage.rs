@@ -1,0 +1,61 @@
+//! Scenario-coverage guard: every scenario module registered in
+//! `src/scenarios/mod.rs` must be listed in `scenarios::ALL` **and**
+//! appear in the `perf_report --smoke` matrix, so a new scenario cannot
+//! land without being benchmarked (and therefore without being covered by
+//! the CI perf/parity gate, which checks the same list against the smoke
+//! report).
+
+use smapp_bench::{perf, scenarios};
+
+/// The `pub mod X;` declarations, parsed from the module source itself so
+/// the list cannot drift silently.
+fn declared_modules() -> Vec<String> {
+    include_str!("../src/scenarios/mod.rs")
+        .lines()
+        .filter_map(|l| {
+            l.trim()
+                .strip_prefix("pub mod ")
+                .and_then(|r| r.strip_suffix(';'))
+                .map(str::to_string)
+        })
+        .collect()
+}
+
+#[test]
+fn all_list_matches_module_declarations() {
+    let mut declared = declared_modules();
+    declared.sort();
+    let mut listed: Vec<String> = scenarios::ALL.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        declared, listed,
+        "scenarios::ALL must list exactly the `pub mod` scenario modules"
+    );
+}
+
+#[test]
+fn every_registered_scenario_is_in_the_smoke_matrix() {
+    let matrix = perf::paper_matrix(true);
+    let in_matrix: Vec<&str> = matrix.entries.iter().map(|e| e.scenario).collect();
+    for want in scenarios::ALL {
+        assert!(
+            in_matrix.contains(want),
+            "scenario `{want}` is registered but absent from the smoke \
+             matrix — it would silently skip benchmarking (matrix: {in_matrix:?})"
+        );
+    }
+}
+
+#[test]
+fn matrix_scenarios_are_all_registered() {
+    // The reverse direction: a matrix row must come from a registered
+    // module, so ALL stays the single source of truth.
+    let matrix = perf::paper_matrix(true);
+    for e in &matrix.entries {
+        assert!(
+            scenarios::ALL.contains(&e.scenario),
+            "matrix row `{}` has no registered scenario module",
+            e.scenario
+        );
+    }
+}

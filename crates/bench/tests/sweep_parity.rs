@@ -3,12 +3,14 @@
 //! per-seed trajectories and identical `RunSummary`s — thread count and
 //! completion order must be unobservable in the results.
 
-use smapp_bench::scenarios::{fig2a, fig2c, fig3, fleet};
+use smapp_bench::scenarios::{fig2a, fig2c, fig3, flap, fleet, handover, middlebox};
 use smapp_bench::sweep::{parity, Matrix, MatrixEntry, ScenarioRun};
 
-/// A miniature but heterogeneous matrix: three paper scenarios plus a
-/// small fleet, several seeds each, with deliberately uneven cell runtimes
-/// so parallel completion order differs from job order.
+/// A miniature but heterogeneous matrix: three paper scenarios, a small
+/// fleet, and the three dynamics-scripted scenarios (same seed + script
+/// must be bit-identical at any worker count), several seeds each, with
+/// deliberately uneven cell runtimes so parallel completion order differs
+/// from job order.
 fn mini_matrix() -> Matrix {
     let entries = vec![
         MatrixEntry::new("fig2a", "backup", vec![42, 43], |seed| {
@@ -65,6 +67,56 @@ fn mini_matrix() -> Matrix {
                 trajectory: format!(
                     "completed={}/{} digest={:016x}",
                     stats.completed, stats.expected, stats.completions_digest
+                ),
+            }
+        }),
+        MatrixEntry::new("handover", "backup", vec![21, 22], |seed| {
+            let p = handover::Params {
+                seed,
+                ..Default::default()
+            };
+            let (summary, r) = handover::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "rows={} switch={:?} delivered={}",
+                    r.rows.len(),
+                    r.switch_at,
+                    r.delivered
+                ),
+            }
+        }),
+        MatrixEntry::new("flap", "refresh", vec![31], |seed| {
+            let p = flap::Params {
+                seed,
+                transfer: 8_000_000,
+                flaps: 2,
+                ..Default::default()
+            };
+            let (summary, r) = flap::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "refreshes={} paths={} delivered={} done={:?}",
+                    r.refreshes.len(),
+                    r.paths_used,
+                    r.delivered,
+                    r.completed_at
+                ),
+            }
+        }),
+        MatrixEntry::new("middlebox", "strip", vec![41, 42], |seed| {
+            let p = middlebox::Params {
+                seed,
+                transfer: 500_000,
+                ..Default::default()
+            };
+            let (summary, r) = middlebox::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "fallback={} subflows={} stripped={} delivered={}",
+                    r.fallback, r.subflows, r.options_stripped, r.delivered
                 ),
             }
         }),

@@ -101,9 +101,30 @@ impl SubflowController for BackupController {
                     rec.sub_src.insert(*id, tuple.src);
                 }
             }
-            PmEvent::SubflowClosed { token, id, .. } => {
+            PmEvent::SubflowClosed {
+                token, id, error, ..
+            } => {
                 if let Some(rec) = self.conns.get_mut(token) {
-                    rec.sub_src.remove(id);
+                    let src = rec.sub_src.remove(id);
+                    // Hard break: the subflow died because its interface
+                    // went down (mobility — the radio disappeared before
+                    // the RTO threshold could trigger the soft switch).
+                    // If that killed our last working subflow and it was
+                    // not already the backup, activate the backup now.
+                    if *error == smapp_mptcp::SubflowError::IfaceDown
+                        && rec.sub_src.is_empty()
+                        && src.is_some_and(|s| s != self.cfg.backup_src)
+                    {
+                        api.open_subflow(
+                            *token,
+                            self.cfg.backup_src,
+                            0,
+                            rec.dst,
+                            rec.dst_port,
+                            false,
+                        );
+                        self.switchovers.push((api.now(), *token, *id));
+                    }
                 }
             }
             PmEvent::ConnClosed { token } => {

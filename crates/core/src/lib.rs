@@ -74,5 +74,7 @@ pub mod prelude {
     pub use smapp_mptcp::{ConnToken, PmEvent, StackConfig, SubflowError, SubflowId};
     pub use smapp_netlink::LatencyModel;
     pub use smapp_pm::{FullMeshPm, Host, NdiffportsPm};
-    pub use smapp_sim::{Addr, LinkCfg, LossModel, SimTime, Simulator};
+    pub use smapp_sim::{
+        Addr, DynAction, DynamicsScript, LinkCfg, LossModel, NodeCommand, SimTime, Simulator,
+    };
 }

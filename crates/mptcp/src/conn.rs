@@ -70,6 +70,10 @@ pub struct ConnStats {
     pub bytes_received: u64,
     /// Segments reinjected onto a different subflow.
     pub reinjections: u64,
+    /// MPTCP was negotiated but the peer's first data arrived without any
+    /// DSS option — a middlebox stripped the options mid-path and the
+    /// connection inferred a plain-TCP fallback (RFC 6824 §3.7).
+    pub fallback_inferred: bool,
 }
 
 /// Connection-level info exposed to path managers and controllers.
@@ -586,6 +590,12 @@ impl Connection {
             .filter(|s| s.state != SfState::Closed)
             .map(|s| s.id)
             .collect()
+    }
+
+    /// Total subflows ever created on this connection (live and closed) —
+    /// 1 for the lifetime of a fallback connection.
+    pub fn subflow_count(&self) -> usize {
+        self.subflows.len()
     }
 
     /// A subflow by id.
@@ -1592,6 +1602,29 @@ impl Connection {
             if let Some(sf) = self.subflows.get_mut(target as usize) {
                 sf.backup = backup;
             }
+        }
+
+        // ---- fallback inference (RFC 6824 §3.7) ----
+        // MPTCP was negotiated, yet the very first data-bearing segment on
+        // the (sole) initial subflow carries no DSS option: a middlebox on
+        // the path is stripping MPTCP options — possibly in one direction
+        // only, so the handshake looked fine to us. The peer cannot signal
+        // mappings; staying in MPTCP mode would discard its bytes as
+        // unmapped forever. Fall back to plain TCP on this subflow and
+        // refuse further joins, exactly as if the handshake had fallen
+        // back.
+        if !self.fallback
+            && id == 0
+            && self.subflows.len() == 1
+            && dss.is_none()
+            && !seg.payload.is_empty()
+            && self.meta_recv.next_expected() == 0
+            && self.peer_fin_off.is_none()
+        {
+            self.fallback = true;
+            self.remote_key = None;
+            self.remote_token = None;
+            self.stats.fallback_inferred = true;
         }
 
         // ---- subflow-level ACK processing ----

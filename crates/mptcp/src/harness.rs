@@ -92,6 +92,13 @@ pub struct Harness {
     pub rate_a2b: Option<u64>,
     /// Serialization rate B→A in bits/s (None = infinite).
     pub rate_b2a: Option<u64>,
+    /// Strip MPTCP options from A→B segments (an option-normalizing
+    /// middlebox on the pipe; see `smapp_sim::dynamics`).
+    pub strip_a2b: bool,
+    /// Strip MPTCP options from B→A segments.
+    pub strip_b2a: bool,
+    /// Options stripped so far, per direction (A→B, B→A).
+    pub stripped: [u64; 2],
     /// Per-direction serializer busy-until time (A→B, B→A).
     busy: [SimTime; 2],
     now: SimTime,
@@ -128,6 +135,9 @@ impl Harness {
             loss_b2a: 0.0,
             rate_a2b: None,
             rate_b2a: None,
+            strip_a2b: false,
+            strip_b2a: false,
+            stripped: [0, 0],
             busy: [SimTime::ZERO; 2],
             now: SimTime::ZERO,
             rng: SimRng::seed_from_u64(seed),
@@ -197,14 +207,20 @@ impl Harness {
             } else {
                 Side::A
             };
-            let (loss, rate, dir) = match side {
-                Side::A => (self.loss_a2b, self.rate_a2b, 0),
-                Side::B => (self.loss_b2a, self.rate_b2a, 1),
+            let (loss, rate, strip, dir) = match side {
+                Side::A => (self.loss_a2b, self.rate_a2b, self.strip_a2b, 0),
+                Side::B => (self.loss_b2a, self.rate_b2a, self.strip_b2a, 1),
             };
             if self.rng.chance(loss) {
                 continue;
             }
-            let pkt = Packet::tcp(p.src, p.dst, p.seg);
+            let mut pkt = Packet::tcp(p.src, p.dst, p.seg);
+            if strip {
+                if let Some((cleaned, n)) = smapp_sim::dynamics::strip_mptcp_options(&pkt.payload) {
+                    pkt.payload = cleaned;
+                    self.stripped[dir] += n as u64;
+                }
+            }
             // Serialize at the pipe rate (FIFO per direction), then propagate.
             let tx_end = match rate {
                 Some(bps) => {

@@ -518,6 +518,97 @@ fn plain_tcp_fallback_when_server_lacks_mptcp() {
 }
 
 #[test]
+fn middlebox_stripping_both_directions_forces_clean_fallback() {
+    // An option-normalizing middlebox strips MPTCP options in both
+    // directions from the first SYN on: the handshake degrades to plain
+    // TCP on both sides and the transfer still completes.
+    let mut h = Harness::new(31, Duration::from_millis(10), vec![A1], vec![B1]);
+    h.b.listen(80, Box::new(|| closing_sink()));
+    h.strip_a2b = true;
+    h.strip_b2a = true;
+    let token = h
+        .connect(
+            Side::A,
+            80,
+            Box::new(BulkSender::new(100_000).close_when_done()),
+        )
+        .unwrap();
+    h.run_until(SimTime::from_secs(20));
+    assert!(h.stripped[0] >= 1, "SYN options stripped");
+    let conn = h.a.conn_by_token(token).unwrap();
+    assert_eq!(conn.state, ConnState::Closed, "transfer completed");
+    assert!(conn.is_fallback());
+    assert!(
+        !conn.stats.fallback_inferred,
+        "handshake-level fallback, not data-level inference"
+    );
+    let sconn = h.b.connections().next().unwrap();
+    assert!(sconn.is_fallback());
+    let sink = sconn
+        .app()
+        .unwrap()
+        .as_any()
+        .downcast_ref::<Sink>()
+        .unwrap();
+    assert_eq!(sink.received, 100_000);
+    // Joins stay refused on a fallback connection.
+    assert!(!h.apply(
+        Side::A,
+        &PmAction::OpenSubflow {
+            token,
+            src: A1,
+            src_port: 0,
+            dst: B1,
+            dst_port: 80,
+            backup: false,
+        },
+    ));
+}
+
+#[test]
+fn one_directional_stripping_infers_fallback_from_dss_less_data() {
+    // The middlebox strips only B→A: the server's SYN/ACK loses its
+    // MP_CAPABLE, so the *client* falls back at handshake time — but the
+    // server saw an intact MP_CAPABLE SYN and believes MPTCP was
+    // negotiated. The client's first data segment then arrives without a
+    // DSS option; without RFC 6824 §3.7 inference the server would drop
+    // those bytes as unmapped forever and the transfer would stall.
+    let mut h = Harness::new(32, Duration::from_millis(10), vec![A1], vec![B1]);
+    h.b.listen(80, Box::new(|| closing_sink()));
+    h.strip_b2a = true;
+    let token = h
+        .connect(
+            Side::A,
+            80,
+            Box::new(BulkSender::new(100_000).close_when_done()),
+        )
+        .unwrap();
+    h.run_until(SimTime::from_secs(30));
+    let conn = h.a.conn_by_token(token).unwrap();
+    assert!(conn.is_fallback(), "client fell back at the SYN/ACK");
+    let sconn = h.b.connections().next().unwrap();
+    assert!(
+        sconn.is_fallback(),
+        "server inferred the fallback from data"
+    );
+    assert!(
+        sconn.stats.fallback_inferred,
+        "server-side fallback came from the DSS-less-first-data inference"
+    );
+    let sink = sconn
+        .app()
+        .unwrap()
+        .as_any()
+        .downcast_ref::<Sink>()
+        .unwrap();
+    assert_eq!(
+        sink.received, 100_000,
+        "transfer completed despite stripping"
+    );
+    assert_eq!(conn.state, ConnState::Closed);
+}
+
+#[test]
 fn subflow_established_events_on_both_sides() {
     let mut h = two_addr_harness(12);
     h.pm_a = Box::new(RecordingPm::default());

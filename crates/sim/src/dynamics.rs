@@ -1,0 +1,441 @@
+//! Scripted, deterministic network dynamics.
+//!
+//! The paper's headline scenarios are stories about *networks that change
+//! under the connection*: a WiFi path that degrades as the user walks away
+//! (§4.2), flapping bottlenecks that a refresh controller routes around
+//! (§4.4), middleboxes that strip the MPTCP options and force a fallback
+//! to plain TCP (§1, the classic deployment hazard). This module makes
+//! those changes first-class: a [`DynamicsScript`] is a time-ordered list
+//! of [`DynAction`]s installed on the [`crate::Simulator`] with
+//! [`crate::Simulator::install_dynamics`] and executed through the same
+//! calendar event queue as every packet and timer — so a scripted run is
+//! exactly as deterministic, seed-stable and sweep-parallel-safe as an
+//! unscripted one.
+//!
+//! # Determinism contract
+//!
+//! * Entries are executed in `(time, installation order)` order. A script
+//!   whose entries are out of order is either **stably sorted** at install
+//!   time ([`crate::Simulator::install_dynamics`]) or **rejected**
+//!   ([`DynamicsScript::validate`] /
+//!   [`crate::Simulator::install_dynamics_strict`]) — both behaviours are
+//!   deterministic, there is no silent reordering ambiguity: ties at the
+//!   same instant always preserve the order entries were added in.
+//! * Actions mutate only simulation state (link parameters, interface
+//!   admin state, node middlebox knobs) through the same code paths node
+//!   callbacks use, so per-seed trajectories are bit-identical whether the
+//!   world runs alone, re-run, or inside the parallel sweep engine.
+//!
+//! # Action semantics
+//!
+//! * Rate/delay/queue/loss changes take effect for *subsequently started*
+//!   transmissions; a packet already on the wire keeps the serialization
+//!   time and propagation delay it started with (hardware does not recall
+//!   bits in flight).
+//! * [`DynAction::LinkAdmin`] flips the administrative state of **both**
+//!   endpoint interfaces of a link (carrier loss is seen by both ends),
+//!   delivering [`crate::Node::on_iface_admin`] to each owner.
+//! * [`DynAction::Command`] delivers a [`NodeCommand`] to one node via
+//!   [`crate::Node::on_command`] — the hook middleboxes implement for
+//!   out-of-band control (state flush, option stripping).
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::link::{Dir, LinkId, LossModel};
+use crate::node::{IfaceId, NodeId};
+use crate::time::SimTime;
+
+/// An out-of-band control command delivered to a node by
+/// [`DynAction::Command`] (see [`crate::Node::on_command`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeCommand {
+    /// Flush all dynamic state of a stateful middlebox — a firewall/NAT
+    /// reboot. Ignored by nodes that keep no middlebox state.
+    FlushState,
+    /// Enable or disable stripping of Multipath TCP options (TCP option
+    /// kind 30) from forwarded packets — the interference of a
+    /// "transparent" middlebox that normalizes unknown TCP options, the
+    /// deployment hazard MPTCP's plain-TCP fallback exists for.
+    StripMptcp(bool),
+}
+
+/// One deterministic scripted change to the network.
+#[derive(Clone, Debug)]
+pub enum DynAction {
+    /// Set the serialization rate (bits/s) of a link direction
+    /// (`dir: None` = both directions).
+    SetRate {
+        /// Target link.
+        link: LinkId,
+        /// Direction, or `None` for both.
+        dir: Option<Dir>,
+        /// New rate in bits per second.
+        rate_bps: u64,
+    },
+    /// Set the one-way propagation delay of a link direction.
+    SetDelay {
+        /// Target link.
+        link: LinkId,
+        /// Direction, or `None` for both.
+        dir: Option<Dir>,
+        /// New one-way propagation delay.
+        delay: Duration,
+    },
+    /// Set the drop-tail queue capacity (packets) of a link direction.
+    /// Shrinking does not evict already-queued packets; the new bound
+    /// applies to subsequent admissions.
+    SetQueue {
+        /// Target link.
+        link: LinkId,
+        /// Direction, or `None` for both.
+        dir: Option<Dir>,
+        /// New queue capacity in packets.
+        pkts: usize,
+    },
+    /// Replace the random-loss model of a link direction.
+    SetLoss {
+        /// Target link.
+        link: LinkId,
+        /// Direction, or `None` for both.
+        dir: Option<Dir>,
+        /// New loss model.
+        loss: LossModel,
+    },
+    /// Take a whole link down or up: both endpoint interfaces change
+    /// administrative state and both owning nodes are notified.
+    LinkAdmin {
+        /// Target link.
+        link: LinkId,
+        /// New administrative state.
+        up: bool,
+    },
+    /// Take one interface down or up (mobility: an access technology
+    /// appears or disappears on one host while the far end stays up).
+    IfaceAdmin {
+        /// Target interface.
+        iface: IfaceId,
+        /// New administrative state.
+        up: bool,
+    },
+    /// Deliver a [`NodeCommand`] to a node (middlebox control).
+    Command {
+        /// Target node.
+        node: NodeId,
+        /// The command.
+        cmd: NodeCommand,
+    },
+    /// Request the simulation to stop (scenario-level cutoff).
+    Stop,
+}
+
+/// One scripted entry: an action and the instant it executes.
+#[derive(Clone, Debug)]
+pub struct DynEntry {
+    /// When the action runs.
+    pub at: SimTime,
+    /// What happens.
+    pub action: DynAction,
+}
+
+/// Error returned by [`DynamicsScript::validate`] when entries are not in
+/// non-decreasing time order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfOrderError {
+    /// Index of the first entry whose time precedes its predecessor's.
+    pub index: usize,
+    /// The offending entry's time.
+    pub at: SimTime,
+    /// The predecessor's time.
+    pub prev: SimTime,
+}
+
+impl std::fmt::Display for OutOfOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dynamics entry {} at {} precedes its predecessor at {}",
+            self.index, self.at, self.prev
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderError {}
+
+/// A time-ordered list of deterministic network changes.
+///
+/// Build one with the chainable [`DynamicsScript::at`] (or
+/// [`DynamicsScript::push`]), then install it with
+/// [`crate::Simulator::install_dynamics`]. Entries may be added in any
+/// order; installation stably sorts by time, so entries sharing an instant
+/// run in the order they were added. Use [`DynamicsScript::validate`] (or
+/// the strict installer) to *reject* out-of-order scripts instead.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicsScript {
+    entries: Vec<DynEntry>,
+}
+
+impl DynamicsScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an action at `at` (builder style).
+    #[must_use]
+    pub fn at(mut self, at: SimTime, action: DynAction) -> Self {
+        self.push(at, action);
+        self
+    }
+
+    /// Add an action at `at`.
+    pub fn push(&mut self, at: SimTime, action: DynAction) {
+        self.entries.push(DynEntry { at, action });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the script has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in insertion order.
+    pub fn entries(&self) -> &[DynEntry] {
+        &self.entries
+    }
+
+    /// Check that entries are already in non-decreasing time order;
+    /// returns the first violation otherwise.
+    pub fn validate(&self) -> Result<(), OutOfOrderError> {
+        for (i, w) in self.entries.windows(2).enumerate() {
+            if w[1].at < w[0].at {
+                return Err(OutOfOrderError {
+                    index: i + 1,
+                    at: w[1].at,
+                    prev: w[0].at,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume the script, returning entries stably sorted by time:
+    /// entries at the same instant keep their insertion order. This is the
+    /// deterministic normalization [`crate::Simulator::install_dynamics`]
+    /// applies.
+    pub fn into_ordered(mut self) -> Vec<DynEntry> {
+        self.entries.sort_by_key(|e| e.at);
+        self.entries
+    }
+}
+
+/// TCP option kind carrying all Multipath TCP signalling (RFC 6824).
+/// Duplicated from `smapp-tcp` (which sits *above* this crate) — a
+/// middlebox identifies the option by its wire kind byte, not by the
+/// endpoint stack's types.
+pub const OPT_KIND_MPTCP: u8 = 30;
+
+/// Minimum TCP header length (no options).
+const TCP_FIXED_LEN: usize = 20;
+
+/// Strip every MPTCP option (kind 30) from a raw TCP segment.
+///
+/// `payload` is the L4 bytes of a [`crate::Packet`] with `proto ==`
+/// [`crate::PROTO_TCP`]. Returns the rewritten segment plus the number of
+/// options removed, or `None` when there is nothing to strip — the segment
+/// carries no kind-30 option, or it does not parse as TCP (a middlebox
+/// must never corrupt what it cannot parse).
+///
+/// Remaining options are re-packed in order and NOP-padded to a 4-byte
+/// boundary; the data offset is rewritten accordingly. All other header
+/// fields and the application payload pass through untouched — exactly the
+/// behaviour of a protocol-normalizing middlebox that "cleans" unknown
+/// TCP options while forwarding the connection itself.
+pub fn strip_mptcp_options(payload: &[u8]) -> Option<(Bytes, u32)> {
+    if payload.len() < TCP_FIXED_LEN {
+        return None;
+    }
+    let data_offset = (payload[12] >> 4) as usize * 4;
+    if data_offset < TCP_FIXED_LEN || data_offset > payload.len() {
+        return None;
+    }
+    // First pass: parse the option list, remembering the survivors.
+    let opts = &payload[TCP_FIXED_LEN..data_offset];
+    let mut keep: Vec<&[u8]> = Vec::new();
+    let mut stripped = 0u32;
+    let mut i = 0usize;
+    while i < opts.len() {
+        match opts[i] {
+            0 => break,  // end of options
+            1 => i += 1, // NOP padding: dropped, re-padded below
+            kind => {
+                if i + 1 >= opts.len() {
+                    return None; // truncated TLV: not parseable, pass through
+                }
+                let len = opts[i + 1] as usize;
+                if len < 2 || i + len > opts.len() {
+                    return None;
+                }
+                if kind == OPT_KIND_MPTCP {
+                    stripped += 1;
+                } else {
+                    keep.push(&opts[i..i + len]);
+                }
+                i += len;
+            }
+        }
+    }
+    if stripped == 0 {
+        return None;
+    }
+    let kept_len: usize = keep.iter().map(|o| o.len()).sum();
+    let padded = kept_len.div_ceil(4) * 4;
+    let mut out = Vec::with_capacity(TCP_FIXED_LEN + padded + (payload.len() - data_offset));
+    out.extend_from_slice(&payload[..TCP_FIXED_LEN]);
+    for o in keep {
+        out.extend_from_slice(o);
+    }
+    out.resize(TCP_FIXED_LEN + padded, 1); // NOP padding
+    out.extend_from_slice(&payload[data_offset..]);
+    out[12] = (((TCP_FIXED_LEN + padded) / 4) as u8) << 4 | (payload[12] & 0x0F);
+    Some((Bytes::from(out), stripped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn validate_accepts_ordered_rejects_unordered() {
+        let ok = DynamicsScript::new()
+            .at(at(1), DynAction::Stop)
+            .at(at(1), DynAction::Stop)
+            .at(at(5), DynAction::Stop);
+        assert!(ok.validate().is_ok());
+
+        let bad = DynamicsScript::new()
+            .at(at(5), DynAction::Stop)
+            .at(at(1), DynAction::Stop);
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.at, at(1));
+        assert_eq!(err.prev, at(5));
+        assert!(err.to_string().contains("precedes"));
+    }
+
+    #[test]
+    fn into_ordered_is_a_stable_sort() {
+        // Two entries at the same instant must keep insertion order even
+        // when a later-added earlier entry is sorted in front of them.
+        let s = DynamicsScript::new()
+            .at(
+                at(10),
+                DynAction::IfaceAdmin {
+                    iface: IfaceId(0),
+                    up: false,
+                },
+            )
+            .at(
+                at(10),
+                DynAction::IfaceAdmin {
+                    iface: IfaceId(0),
+                    up: true,
+                },
+            )
+            .at(at(2), DynAction::Stop);
+        let ordered = s.into_ordered();
+        assert_eq!(ordered.len(), 3);
+        assert_eq!(ordered[0].at, at(2));
+        assert!(matches!(
+            ordered[1].action,
+            DynAction::IfaceAdmin { up: false, .. }
+        ));
+        assert!(matches!(
+            ordered[2].action,
+            DynAction::IfaceAdmin { up: true, .. }
+        ));
+    }
+
+    /// Hand-rolled 20-byte TCP header with the given options appended
+    /// (caller pads), plus payload.
+    fn raw_tcp(options: &[u8], payload: &[u8]) -> Vec<u8> {
+        assert_eq!(options.len() % 4, 0, "caller pads options");
+        let mut b = vec![0u8; TCP_FIXED_LEN];
+        b[0..2].copy_from_slice(&4321u16.to_be_bytes());
+        b[2..4].copy_from_slice(&80u16.to_be_bytes());
+        b[12] = (((TCP_FIXED_LEN + options.len()) / 4) as u8) << 4;
+        b[13] = 0x18; // PSH|ACK
+        b.extend_from_slice(options);
+        b.extend_from_slice(payload);
+        b
+    }
+
+    #[test]
+    fn strip_removes_only_kind_30() {
+        // MSS (4) + MPTCP dss-ish (4) + NOP NOP WScale (3+1 pad as NOPs).
+        let opts = [
+            2, 4, 0x05, 0xB4, // MSS 1460
+            30, 4, 0x20, 0x00, // MPTCP, 2-byte body
+            3, 3, 7, 1, // window scale + NOP pad
+        ];
+        let seg = raw_tcp(&opts, b"hello");
+        let (out, n) = strip_mptcp_options(&seg).expect("stripped");
+        assert_eq!(n, 1);
+        // Survivors: MSS(4) + WScale(3) -> 7 -> padded to 8.
+        assert_eq!((out[12] >> 4) as usize * 4, TCP_FIXED_LEN + 8);
+        assert_eq!(
+            &out[TCP_FIXED_LEN..TCP_FIXED_LEN + 7],
+            &[2, 4, 0x05, 0xB4, 3, 3, 7]
+        );
+        assert_eq!(out[TCP_FIXED_LEN + 7], 1, "NOP padded");
+        assert_eq!(&out[out.len() - 5..], b"hello");
+        // Ports and flags untouched.
+        assert_eq!(&out[..12], &seg[..12]);
+        assert_eq!(out[13], seg[13]);
+    }
+
+    #[test]
+    fn strip_is_noop_without_mptcp_options() {
+        let seg = raw_tcp(&[2, 4, 0x05, 0xB4], b"data");
+        assert!(strip_mptcp_options(&seg).is_none());
+        assert!(strip_mptcp_options(b"short").is_none());
+    }
+
+    #[test]
+    fn strip_passes_malformed_segments_through() {
+        // Option with length 0 — unparseable; middlebox must not touch it.
+        let seg = raw_tcp(&[30, 0, 1, 1], b"");
+        assert!(strip_mptcp_options(&seg).is_none());
+        // Bad data offset.
+        let mut seg = raw_tcp(&[], b"x");
+        seg[12] = 0xF0;
+        assert!(strip_mptcp_options(&seg).is_none());
+    }
+
+    #[test]
+    fn strip_handles_multiple_mptcp_options_and_eol() {
+        let opts = [
+            30, 4, 0x20, 0x00, // MPTCP #1
+            30, 3, 0x50, // MPTCP #2 (3 bytes)
+            0,    // EOL: rest is padding
+        ];
+        let seg = raw_tcp(&opts, b"zz");
+        let (out, n) = strip_mptcp_options(&seg).expect("stripped");
+        assert_eq!(n, 2);
+        assert_eq!(
+            (out[12] >> 4) as usize * 4,
+            TCP_FIXED_LEN,
+            "no options left"
+        );
+        assert_eq!(&out[TCP_FIXED_LEN..], b"zz");
+    }
+}

@@ -257,6 +257,12 @@ impl Node for Firewall {
         }
     }
 
+    fn on_command(&mut self, _ctx: &mut Ctx<'_>, cmd: &crate::dynamics::NodeCommand) {
+        if matches!(cmd, crate::dynamics::NodeCommand::FlushState) {
+            self.flush();
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -10,6 +10,9 @@
 //!   and (time-varying) random loss ([`LinkCfg`], [`LossModel`]),
 //! * ECMP routers hashing the 5-tuple ([`Router`]),
 //! * stateful firewall/NAT middleboxes with idle timeouts ([`Firewall`]),
+//! * scripted deterministic network dynamics — link parameter changes,
+//!   link/interface flaps, middlebox control — executed through the
+//!   calendar event queue ([`DynamicsScript`], [`dynamics`]),
 //! * a tracing facility equivalent to running tcpdump on every link
 //!   ([`TraceSink`]).
 //!
@@ -56,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod dynamics;
 pub(crate) mod equeue;
 pub mod firewall;
 pub mod hash;
@@ -69,6 +73,7 @@ pub mod trace;
 pub mod world;
 
 pub use addr::{Addr, AddrPrefix, FlowKey};
+pub use dynamics::{DynAction, DynEntry, DynamicsScript, NodeCommand, OutOfOrderError};
 pub use firewall::{DenyPolicy, Firewall};
 pub use hash::{FxHashMap, FxHashSet};
 pub use link::{Dir, DropReason, LinkCfg, LinkDirStats, LinkId, LossModel};

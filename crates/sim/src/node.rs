@@ -77,6 +77,14 @@ pub trait Node {
         let _ = (ctx, iface, up);
     }
 
+    /// An out-of-band control command from a dynamics script (see
+    /// [`crate::dynamics`]) — how scenarios reboot a middlebox or toggle
+    /// its interference without reaching into node internals. The default
+    /// ignores every command.
+    fn on_command(&mut self, ctx: &mut Ctx<'_>, cmd: &crate::dynamics::NodeCommand) {
+        let _ = (ctx, cmd);
+    }
+
     /// Downcast support so scenario code can inspect node state after a run.
     fn as_any(&self) -> &dyn Any;
 

@@ -11,9 +11,10 @@
 use std::any::Any;
 
 use crate::addr::{Addr, AddrPrefix};
+use crate::dynamics::{strip_mptcp_options, NodeCommand};
 use crate::hash::FxHashMap;
 use crate::node::{IfaceId, Node};
-use crate::packet::Packet;
+use crate::packet::{Packet, PROTO_TCP};
 use crate::world::Ctx;
 
 /// One routing-table entry.
@@ -36,6 +37,13 @@ pub struct Router {
     /// so trajectories are identical with or without it.
     lpm_cache: FxHashMap<Addr, Option<usize>>,
     salt: u64,
+    /// When set, forwarded TCP segments have their MPTCP options (kind 30)
+    /// removed — the protocol-normalizing middlebox interference that
+    /// forces endpoints into plain-TCP fallback. Toggled by scenarios
+    /// directly or via [`NodeCommand::StripMptcp`] in a dynamics script.
+    pub strip_mptcp: bool,
+    /// MPTCP options removed while [`Router::strip_mptcp`] was on.
+    pub options_stripped: u64,
     /// Packets forwarded, for reporting.
     pub forwarded: u64,
     /// Packets dropped for lack of a route.
@@ -51,6 +59,8 @@ impl Router {
             routes: Vec::new(),
             lpm_cache: FxHashMap::default(),
             salt,
+            strip_mptcp: false,
+            options_stripped: 0,
             forwarded: 0,
             no_route: 0,
             ttl_drops: 0,
@@ -115,6 +125,12 @@ impl Node for Router {
             return;
         }
         pkt.ttl -= 1;
+        if self.strip_mptcp && pkt.proto == PROTO_TCP {
+            if let Some((cleaned, n)) = strip_mptcp_options(&pkt.payload) {
+                pkt.payload = cleaned;
+                self.options_stripped += n as u64;
+            }
+        }
         match self.select_egress_cached(&pkt) {
             Some(egress) => {
                 // A route pointing back out of the ingress interface would
@@ -129,6 +145,12 @@ impl Node for Router {
             None => {
                 self.no_route += 1;
             }
+        }
+    }
+
+    fn on_command(&mut self, _ctx: &mut Ctx<'_>, cmd: &NodeCommand) {
+        if let NodeCommand::StripMptcp(on) = cmd {
+            self.strip_mptcp = *on;
         }
     }
 
@@ -208,6 +230,105 @@ mod tests {
         assert_eq!(r.select_egress_cached(&miss), None);
         r.add_route("0.0.0.0/0".parse().unwrap(), vec![IfaceId(3)]);
         assert_eq!(r.select_egress_cached(&miss), Some(IfaceId(3)));
+    }
+
+    #[test]
+    fn stripping_router_removes_mptcp_options_from_forwarded_tcp() {
+        // Raw TCP header: ports 1/2, data offset 6 words (one 4-byte
+        // option block), option = MPTCP kind 30 len 4.
+        let mut seg = vec![0u8; 24];
+        seg[0..2].copy_from_slice(&1u16.to_be_bytes());
+        seg[2..4].copy_from_slice(&2u16.to_be_bytes());
+        seg[12] = 6 << 4;
+        seg[20..24].copy_from_slice(&[30, 4, 0x20, 0]);
+        let pkt = Packet::tcp(
+            Addr::new(10, 0, 0, 1),
+            Addr::new(10, 1, 0, 1),
+            Bytes::from(seg),
+        );
+
+        let mut r = Router::new(0);
+        r.strip_mptcp = true;
+        // Drive through a real simulator so the rewrite happens on the
+        // forwarding path, not in isolation.
+        let mut sim = crate::Simulator::new(0);
+        let rid = sim.add_node(Box::new(r));
+        let sink = sim.add_node(Box::new(CollectOne { got: None }));
+        let r_in = sim.add_iface(rid, Addr::new(10, 0, 0, 254), "in");
+        let r_out = sim.add_iface(rid, Addr::new(10, 1, 0, 254), "out");
+        let s_if = sim.add_iface(sink, Addr::new(10, 1, 0, 1), "eth0");
+        let src = sim.add_node(Box::new(SendOnce { pkt: Some(pkt) }));
+        let src_if = sim.add_iface(src, Addr::new(10, 0, 0, 1), "eth0");
+        sim.connect(src_if, r_in, crate::link::LinkCfg::mbps_ms(100, 1));
+        sim.connect(r_out, s_if, crate::link::LinkCfg::mbps_ms(100, 1));
+        sim.node_mut(rid)
+            .as_any_mut()
+            .downcast_mut::<Router>()
+            .unwrap()
+            .add_route("10.1.0.0/16".parse().unwrap(), vec![r_out]);
+        sim.run();
+        let router = sim.node(rid).as_any().downcast_ref::<Router>().unwrap();
+        assert_eq!(router.options_stripped, 1);
+        let sink = sim
+            .node(sink)
+            .as_any()
+            .downcast_ref::<CollectOne>()
+            .unwrap();
+        let got = sink.got.as_ref().expect("forwarded");
+        assert_eq!((got.payload[12] >> 4) as usize * 4, 20, "options gone");
+        assert_eq!(got.ports(), (1, 2), "ports untouched");
+    }
+
+    /// Emits one canned packet at start.
+    pub(super) struct SendOnce {
+        pub pkt: Option<Packet>,
+    }
+    impl Node for SendOnce {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let (iface, _) = ctx.my_ifaces().next().unwrap();
+            let pkt = self.pkt.take().unwrap();
+            ctx.send(iface, pkt);
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Stores the first packet it receives.
+    pub(super) struct CollectOne {
+        pub got: Option<Packet>,
+    }
+    impl Node for CollectOne {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, pkt: Packet) {
+            self.got.get_or_insert(pkt);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn strip_command_toggles_the_flag() {
+        use crate::dynamics::NodeCommand;
+        let mut sim = crate::Simulator::new(0);
+        let rid = sim.add_node(Box::new(Router::new(0)));
+        sim.install_dynamics(crate::DynamicsScript::new().at(
+            crate::SimTime::from_millis(1),
+            crate::DynAction::Command {
+                node: rid,
+                cmd: NodeCommand::StripMptcp(true),
+            },
+        ));
+        sim.run();
+        let r = sim.node(rid).as_any().downcast_ref::<Router>().unwrap();
+        assert!(r.strip_mptcp);
     }
 
     #[test]

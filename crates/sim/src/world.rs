@@ -20,6 +20,7 @@
 use std::time::Duration;
 
 use crate::addr::Addr;
+use crate::dynamics::{DynAction, DynamicsScript, OutOfOrderError};
 use crate::equeue::{EventQueue, Scheduled};
 use crate::link::{Dir, DropReason, LinkCfg, LinkDirState, LinkDirStats, LinkId, LossModel};
 use crate::node::{Iface, IfaceId, Node, NodeId};
@@ -47,6 +48,8 @@ pub(crate) enum SimEvent {
     IfaceAdmin { iface: IfaceId, up: bool },
     /// Run a registered script hook.
     Script(usize),
+    /// Execute an installed dynamics-script action.
+    Dyn(usize),
 }
 
 /// One link: two interfaces and two directional states.
@@ -235,6 +238,32 @@ impl SimCore {
     pub fn set_loss_both(&mut self, link: LinkId, loss: LossModel) {
         self.set_loss(link, Dir::AtoB, loss.clone());
         self.set_loss(link, Dir::BtoA, loss);
+    }
+
+    /// Set the serialization rate of one direction of a link, effective
+    /// for subsequently started transmissions (a packet already on the
+    /// serializer keeps the rate it started with).
+    pub fn set_rate(&mut self, link: LinkId, dir: Dir, rate_bps: u64) {
+        self.links[link.0].dir_mut(dir).cfg.rate_bps = rate_bps;
+    }
+
+    /// Set the one-way propagation delay of one direction of a link,
+    /// effective for packets finishing serialization afterwards.
+    pub fn set_delay(&mut self, link: LinkId, dir: Dir, delay: Duration) {
+        self.links[link.0].dir_mut(dir).cfg.delay = delay;
+    }
+
+    /// Set the drop-tail queue capacity of one direction of a link.
+    /// Shrinking does not evict queued packets; the bound applies to
+    /// subsequent admissions.
+    pub fn set_queue(&mut self, link: LinkId, dir: Dir, pkts: usize) {
+        self.links[link.0].dir_mut(dir).cfg.queue_pkts = pkts;
+    }
+
+    /// The two endpoint interfaces of a link (A end, B end).
+    pub fn link_ifaces(&self, link: LinkId) -> (IfaceId, IfaceId) {
+        let l = &self.links[link.0];
+        (l.a, l.b)
     }
 
     /// Schedule an administrative up/down change for an interface.
@@ -492,6 +521,7 @@ pub struct Simulator {
     pub core: SimCore,
     nodes: Vec<Box<dyn Node>>,
     scripts: Vec<ScriptFn>,
+    dynamics: Vec<DynAction>,
     started: bool,
 }
 
@@ -502,6 +532,7 @@ impl Simulator {
             core: SimCore::new(seed),
             nodes: Vec::new(),
             scripts: Vec::new(),
+            dynamics: Vec::new(),
             started: false,
         }
     }
@@ -558,6 +589,32 @@ impl Simulator {
         let idx = self.scripts.len();
         self.scripts.push(Box::new(hook));
         self.core.push(at, SimEvent::Script(idx));
+    }
+
+    /// Install a [`DynamicsScript`]: every entry becomes a calendar-queue
+    /// event at its scheduled time. Entries are stably sorted by time
+    /// first (ties keep the order they were added in), so out-of-order
+    /// scripts are normalized deterministically. Call before running; an
+    /// entry scheduled in the simulated past is a scenario bug (debug
+    /// assert, same rule as any other event).
+    pub fn install_dynamics(&mut self, script: DynamicsScript) {
+        for entry in script.into_ordered() {
+            let idx = self.dynamics.len();
+            self.dynamics.push(entry.action);
+            self.core.push(entry.at, SimEvent::Dyn(idx));
+        }
+    }
+
+    /// Like [`Simulator::install_dynamics`], but rejects a script whose
+    /// entries are not already in non-decreasing time order instead of
+    /// sorting it.
+    pub fn install_dynamics_strict(
+        &mut self,
+        script: DynamicsScript,
+    ) -> Result<(), OutOfOrderError> {
+        script.validate()?;
+        self.install_dynamics(script);
+        Ok(())
     }
 
     /// Immutable access to a node (for downcasting after a run).
@@ -706,17 +763,78 @@ impl Simulator {
                 self.nodes[node.0].on_packet(&mut ctx, iface_id, pkt);
             }
             SimEvent::IfaceAdmin { iface, up } => {
-                let node = self.core.ifaces[iface.0].node;
-                self.core.ifaces[iface.0].up = up;
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    node,
-                };
-                self.nodes[node.0].on_iface_admin(&mut ctx, iface, up);
+                self.apply_iface_admin(iface, up);
             }
             SimEvent::Script(idx) => {
                 (self.scripts[idx])(&mut self.core);
             }
+            SimEvent::Dyn(idx) => {
+                let action = self.dynamics[idx].clone();
+                self.apply_dyn(action);
+            }
+        }
+    }
+
+    /// Flip an interface's administrative state and notify its owner —
+    /// shared by [`SimEvent::IfaceAdmin`] and dynamics actions.
+    fn apply_iface_admin(&mut self, iface: IfaceId, up: bool) {
+        let node = self.core.ifaces[iface.0].node;
+        self.core.ifaces[iface.0].up = up;
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        self.nodes[node.0].on_iface_admin(&mut ctx, iface, up);
+    }
+
+    /// Execute one dynamics action.
+    fn apply_dyn(&mut self, action: DynAction) {
+        let both = [Dir::AtoB, Dir::BtoA];
+        let dirs = |dir: Option<Dir>| {
+            both.into_iter()
+                .filter(move |&d| dir.is_none_or(|x| x == d))
+        };
+        match action {
+            DynAction::SetRate {
+                link,
+                dir,
+                rate_bps,
+            } => {
+                for d in dirs(dir) {
+                    self.core.set_rate(link, d, rate_bps);
+                }
+            }
+            DynAction::SetDelay { link, dir, delay } => {
+                for d in dirs(dir) {
+                    self.core.set_delay(link, d, delay);
+                }
+            }
+            DynAction::SetQueue { link, dir, pkts } => {
+                for d in dirs(dir) {
+                    self.core.set_queue(link, d, pkts);
+                }
+            }
+            DynAction::SetLoss { link, dir, loss } => {
+                for d in dirs(dir) {
+                    self.core.set_loss(link, d, loss.clone());
+                }
+            }
+            DynAction::LinkAdmin { link, up } => {
+                let (a, b) = self.core.link_ifaces(link);
+                self.apply_iface_admin(a, up);
+                self.apply_iface_admin(b, up);
+            }
+            DynAction::IfaceAdmin { iface, up } => {
+                self.apply_iface_admin(iface, up);
+            }
+            DynAction::Command { node, cmd } => {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node.0].on_command(&mut ctx, &cmd);
+            }
+            DynAction::Stop => self.core.request_stop(),
         }
     }
 }
@@ -1020,6 +1138,110 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+    }
+
+    #[test]
+    fn dynamics_set_loss_blocks_delivery_like_inline_scripts() {
+        use crate::dynamics::{DynAction, DynamicsScript};
+        let (mut sim, a, _b) = two_hosts(4, LinkCfg::mbps_ms(10, 5));
+        sim.install_dynamics(DynamicsScript::new().at(
+            SimTime::ZERO,
+            DynAction::SetLoss {
+                link: LinkId(0),
+                dir: None,
+                loss: LossModel::Bernoulli(1.0),
+            },
+        ));
+        sim.run();
+        let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+        assert_eq!(ping.got, 0, "full loss installed at t=0 blocks echoes");
+    }
+
+    #[test]
+    fn dynamics_rate_change_applies_to_later_transmissions() {
+        use crate::dynamics::{DynAction, DynamicsScript};
+        // Baseline at 1 kb/s (192 ms serialization per 24-byte packet,
+        // dominating the run) vs a script that jumps to 100 Mb/s at t=0:
+        // serialization shrinks, so the whole exchange ends earlier.
+        let run = |script: Option<DynamicsScript>| {
+            let (mut sim, _a, _b) = two_hosts(1, LinkCfg::new(1_000, Duration::from_millis(10)));
+            if let Some(s) = script {
+                sim.install_dynamics(s);
+            }
+            sim.run().ended_at
+        };
+        let slow = run(None);
+        let fast = run(Some(DynamicsScript::new().at(
+            SimTime::ZERO,
+            DynAction::SetRate {
+                link: LinkId(0),
+                dir: None,
+                rate_bps: 100_000_000,
+            },
+        )));
+        assert!(
+            fast < slow,
+            "rate bump must shorten the run: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn dynamics_link_admin_downs_both_ends_and_notifies() {
+        use crate::dynamics::{DynAction, DynamicsScript};
+        let (mut sim, a, _b) = two_hosts(3, LinkCfg::mbps_ms(10, 5));
+        sim.install_dynamics(DynamicsScript::new().at(
+            SimTime::ZERO,
+            DynAction::LinkAdmin {
+                link: LinkId(0),
+                up: false,
+            },
+        ));
+        sim.run();
+        let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+        assert_eq!(ping.got, 0, "downed link carries nothing");
+        assert!(!sim.core.iface(IfaceId(0)).up);
+        assert!(!sim.core.iface(IfaceId(1)).up);
+    }
+
+    #[test]
+    fn dynamics_stop_action_requests_stop() {
+        use crate::dynamics::{DynAction, DynamicsScript};
+        let (mut sim, _a, _b) = two_hosts(5, LinkCfg::mbps_ms(1, 500));
+        sim.install_dynamics(DynamicsScript::new().at(SimTime::from_millis(1), DynAction::Stop));
+        let s = sim.run();
+        assert_eq!(s.reason, StopReason::Requested);
+        assert_eq!(s.ended_at, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn dynamics_out_of_order_scripts_sort_or_reject_deterministically() {
+        use crate::dynamics::{DynAction, DynamicsScript};
+        let script = || {
+            DynamicsScript::new()
+                .at(SimTime::from_millis(2), DynAction::Stop)
+                .at(
+                    SimTime::from_millis(1),
+                    DynAction::SetLoss {
+                        link: LinkId(0),
+                        dir: None,
+                        loss: LossModel::Bernoulli(1.0),
+                    },
+                )
+        };
+        // Strict install rejects…
+        let (mut sim, ..) = two_hosts(6, LinkCfg::mbps_ms(10, 5));
+        let err = sim.install_dynamics_strict(script()).unwrap_err();
+        assert_eq!(err.index, 1);
+        // …lenient install sorts; two runs of the sorted script agree
+        // bit-for-bit with each other.
+        let run = |seed| {
+            let (mut sim, a, _b) = two_hosts(seed, LinkCfg::mbps_ms(10, 5));
+            sim.install_dynamics(script());
+            let s = sim.run();
+            let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+            (s.events, s.ended_at, ping.got)
+        };
+        assert_eq!(run(7), run(7));
     }
 
     #[test]

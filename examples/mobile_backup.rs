@@ -1,10 +1,13 @@
 //! §4.2 — break-before-make backup on a "smartphone".
 //!
-//! The WiFi path degrades to 30 % loss mid-transfer. The smart-backup
-//! controller watches the paper's `timeout` events; when the backed-off
-//! retransmission timeout exceeds one second it cuts the WiFi subflow and
-//! opens one over the cellular interface — which was *never* established
-//! beforehand (saving energy and radio resources).
+//! The WiFi path degrades to 30 % loss mid-transfer and then loses its
+//! association entirely — both scripted through the deterministic
+//! [`DynamicsScript`] network-dynamics engine. The smart-backup controller
+//! watches the paper's `timeout` events; when the backed-off
+//! retransmission timeout exceeds one second (or the WiFi interface dies
+//! under it) it cuts the WiFi subflow and opens one over the cellular
+//! interface — which was *never* established beforehand (saving energy
+//! and radio resources).
 //!
 //! ```text
 //! cargo run -p smapp --example mobile_backup
@@ -57,12 +60,28 @@ fn main() {
     );
     let mut sim = net.sim;
 
-    // The user walks away from the access point at t = 1 s.
-    let wifi = net.link1;
-    sim.at(SimTime::from_secs(1), move |core| {
-        core.set_loss_both(wifi, LossModel::Bernoulli(0.30));
-        println!("t=1s: WiFi degrades to 30% loss");
-    });
+    // The mobility story, as a deterministic dynamics script: the user
+    // walks away from the access point at t = 1 s, and the radio loses
+    // its association completely at t = 8 s.
+    sim.install_dynamics(
+        DynamicsScript::new()
+            .at(
+                SimTime::from_secs(1),
+                DynAction::SetLoss {
+                    link: net.link1,
+                    dir: None,
+                    loss: LossModel::Bernoulli(0.30),
+                },
+            )
+            .at(
+                SimTime::from_secs(8),
+                DynAction::IfaceAdmin {
+                    iface: net.client_if1,
+                    up: false,
+                },
+            ),
+    );
+    println!("scripted: WiFi degrades to 30% loss at t=1s, dies at t=8s");
 
     let summary = sim.run_until(SimTime::from_secs(120));
 
