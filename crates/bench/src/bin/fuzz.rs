@@ -1,0 +1,132 @@
+//! `fuzz` — run the randomized-scenario corpus under the
+//! protocol-invariant oracle.
+//!
+//! Every case is derived purely from its seed (topology, link parameters,
+//! path-manager mix, transfer size, dynamics churn — see
+//! `smapp_bench::fuzz`), built with the wire oracle and end-host taps
+//! enabled, and run to completion. Any invariant violation fails the run
+//! with the replayable `(scenario, seed, time)` triple and a shrunken
+//! dynamics script.
+//!
+//! Usage:
+//!
+//! ```text
+//! fuzz [--corpus PATH] [--cases N --start-seed S] [--jobs N]
+//! fuzz --replay SEED            # one case, verbose, shrink on failure
+//! ```
+//!
+//! With no arguments the committed corpus (`FUZZ_CORPUS.txt`) runs on all
+//! cores — exactly what the CI fuzz-smoke job does.
+
+use smapp_bench::count_alloc::CountingAlloc;
+use smapp_bench::{fuzz, sweep};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let jobs = flag("--jobs")
+        .map(|v| v.parse::<usize>().expect("--jobs takes a number").max(1))
+        .unwrap_or_else(sweep::default_jobs);
+
+    if let Some(seed) = flag("--replay") {
+        let seed: u64 = seed.parse().expect("--replay takes a decimal seed");
+        replay(seed);
+        return;
+    }
+
+    let seeds: Vec<u64> = if let Some(path) = flag("--corpus") {
+        let text = std::fs::read_to_string(&path).expect("read corpus file");
+        fuzz::parse_corpus(&text)
+    } else if let Some(n) = flag("--cases") {
+        let n: u64 = n.parse().expect("--cases takes a number");
+        let start: u64 = flag("--start-seed")
+            .map(|s| s.parse().expect("--start-seed takes a number"))
+            .unwrap_or(1);
+        (start..start + n).collect()
+    } else {
+        fuzz::default_corpus()
+    };
+
+    let t0 = std::time::Instant::now();
+    let outcomes = fuzz::run_corpus(&seeds, jobs);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let total_events: u64 = outcomes.iter().map(|o| o.summary.events).sum();
+    let delivered: u64 = outcomes.iter().map(|o| o.delivered).sum();
+    let failing: Vec<&fuzz::CaseOutcome> = outcomes
+        .iter()
+        .filter(|o| !o.violations.is_empty())
+        .collect();
+    println!(
+        "fuzz: {} cases in {wall:.2}s ({} sim events, {} bytes delivered, --jobs {jobs})",
+        outcomes.len(),
+        total_events,
+        delivered
+    );
+    if failing.is_empty() {
+        println!("fuzz: oracle clean on every case");
+        return;
+    }
+
+    for o in &failing {
+        eprintln!("\nFAIL seed {} ({})", o.seed, o.desc);
+        for v in &o.violations {
+            eprintln!("  {v}");
+        }
+        match fuzz::shrink(o.seed, &fuzz::FuzzOptions::default()) {
+            Some(s) => {
+                let case = fuzz::FuzzCase::derive(o.seed);
+                eprintln!(
+                    "  shrunk dynamics to {} of {} entries:",
+                    s.kept.len(),
+                    case.dynamics.len()
+                );
+                for &i in &s.kept {
+                    eprintln!("    [{i}] {:?}", case.dynamics[i]);
+                }
+            }
+            None => eprintln!("  (failure did not reproduce during shrinking)"),
+        }
+        eprintln!(
+            "  replay: cargo run --release -p smapp-bench --bin fuzz -- --replay {}",
+            o.seed
+        );
+    }
+    eprintln!(
+        "\nfuzz: {} of {} cases violated the oracle",
+        failing.len(),
+        outcomes.len()
+    );
+    std::process::exit(1);
+}
+
+fn replay(seed: u64) {
+    let case = fuzz::FuzzCase::derive(seed);
+    println!("seed {seed}: {}", case.describe());
+    for (i, d) in case.dynamics.iter().enumerate() {
+        println!("  dyn[{i}] {d:?}");
+    }
+    let out = fuzz::run_case(seed);
+    println!(
+        "run: {:?} at t={} ({} events, {} bytes delivered)",
+        out.summary.reason, out.summary.ended_at, out.summary.events, out.delivered
+    );
+    if out.violations.is_empty() {
+        println!("oracle: clean");
+        return;
+    }
+    for v in &out.violations {
+        eprintln!("  {v}");
+    }
+    if let Some(s) = fuzz::shrink(seed, &fuzz::FuzzOptions::default()) {
+        eprintln!("shrunk dynamics to entries {:?}", s.kept);
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,595 @@
+//! Randomized-but-seeded scenario fuzzing with the protocol-invariant
+//! oracle attached.
+//!
+//! In the spirit of history-based checkers that exercise *generated*
+//! executions against an executable specification (rather than hand-picked
+//! cases), this module derives a complete scenario — topology, link
+//! parameters, path-manager mix, workload and a [`DynamicsScript`] of
+//! mid-run churn — purely from a `u64` seed, runs it with the wire oracle
+//! and the end-host taps enabled, and reports every invariant violation
+//! with the replayable `(scenario="fuzz", seed, time)` triple.
+//!
+//! * [`FuzzCase::derive`] — seed → scenario description (deterministic; no
+//!   state outside the seed).
+//! * [`run_case`] — build, run, [`smapp_pm::verify::conclude`]; never
+//!   panics, so a corpus sweep reports every failure.
+//! * [`shrink`] — for a failing case, bisect the dynamics script down to a
+//!   minimal still-failing subset (greedy single-entry removal to a fixed
+//!   point — scripts are short, so this is exact enough and cheap).
+//! * [`default_corpus`] — the committed fixed-seed corpus
+//!   (`FUZZ_CORPUS.txt`) CI runs on every build; failures reproduce
+//!   locally with `cargo run --release -p smapp-bench --bin fuzz --
+//!   --replay <seed>`.
+//!
+//! Corpus sweeps parallelize over the same worker pool as the scenario
+//! matrix ([`crate::sweep::run_jobs`]); each case is one independent,
+//! thread-confined world.
+
+use std::time::Duration;
+
+use smapp_mptcp::apps::{BulkSender, Sink};
+use smapp_mptcp::{NoopPm, StackConfig};
+use smapp_pm::topo::{self, CLIENT_ADDR1, CLIENT_ADDR2, SERVER_ADDR};
+use smapp_pm::{verify, FullMeshPm, Host, NdiffportsPm};
+use smapp_sim::{
+    DynAction, DynamicsScript, LinkCfg, LinkId, LossModel, NodeCommand, Oracle, RunSummary, SimRng,
+    SimTime, Simulator,
+};
+
+use crate::pms::BackupFlagPm;
+use crate::sweep::{run_jobs, JobFn};
+
+/// Topology family of one case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topo {
+    /// Dual-homed client behind one router ([`topo::two_path`]).
+    TwoPath,
+    /// Single-homed client across an ECMP fan of `n` paths ([`topo::ecmp`]).
+    Ecmp(usize),
+}
+
+/// Path-manager / controller mix of one case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PmMix {
+    /// No path manager: single subflow.
+    Noop,
+    /// Kernel full-mesh.
+    FullMesh,
+    /// Kernel ndiffports with `n` subflows.
+    Ndiffports(u8),
+    /// Immediate backup subflow over the second interface (two-path only).
+    BackupFlag,
+}
+
+/// Middlebox behaviour of one case (two-path topology only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strip {
+    /// Router forwards options untouched.
+    Off,
+    /// Router strips MPTCP options from the first SYN on: the handshake
+    /// itself degrades to plain TCP.
+    FromStart,
+    /// Stripping switches on *between* the handshake and the first data
+    /// segment — the RFC 6824 §3.7 inference case: MPTCP is negotiated,
+    /// then the peer's first data arrives DSS-less.
+    MidHandshake,
+}
+
+/// One abstract scripted action; links are indices into the case's link
+/// table (two-path: `[link1, link2]`, ECMP: the parallel paths) so a case
+/// is fully described before the world exists.
+#[derive(Clone, Debug)]
+pub struct FuzzDyn {
+    /// When the action runs.
+    pub at: SimTime,
+    /// Which table link it targets.
+    pub link_idx: usize,
+    /// What happens.
+    pub action: FuzzAction,
+}
+
+/// Abstract dynamics action (resolved to [`DynAction`] at build time).
+#[derive(Clone, Debug)]
+pub enum FuzzAction {
+    /// Serialization-rate change, bits/s.
+    Rate(u64),
+    /// Bernoulli loss-ratio change.
+    Loss(f64),
+    /// One-way delay change.
+    Delay(Duration),
+    /// Drop-tail queue capacity change, packets.
+    Queue(usize),
+    /// Link down, back up after the duration.
+    FlapDown(Duration),
+}
+
+/// A fully derived fuzz case.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// The master seed (also seeds the simulation world).
+    pub seed: u64,
+    /// Topology family.
+    pub topo: Topo,
+    /// Per-link configs: two-path `[cfg1, cfg2]`, ECMP one per path.
+    pub link_cfgs: Vec<LinkCfg>,
+    /// Path-manager mix.
+    pub pm: PmMix,
+    /// Transfer size, bytes.
+    pub transfer: u64,
+    /// Middlebox behaviour.
+    pub strip: Strip,
+    /// Scripted churn.
+    pub dynamics: Vec<FuzzDyn>,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+/// Time the client workload connects (fixed so [`Strip::MidHandshake`]
+/// can place its toggle deterministically inside the handshake window).
+const CONNECT_AT_MS: u64 = 10;
+
+/// For [`Strip::MidHandshake`] the two-path access delays are pinned to
+/// 10 ms so the strip toggle at 36 ms lands after the router forwarded the
+/// SYN/ACK (~22 ms) and before the first data transits it (~42 ms).
+const MID_STRIP_AT_MS: u64 = 36;
+
+impl FuzzCase {
+    /// Derive the complete case from `seed` — deterministic, stateless.
+    pub fn derive(seed: u64) -> FuzzCase {
+        // Decorrelate from the world RNG (which also consumes `seed`).
+        let mut r = SimRng::seed_from_u64(seed ^ 0x5EED_F0CC_0BAD_CA5E);
+        let topo = if r.chance(0.5) {
+            Topo::TwoPath
+        } else {
+            Topo::Ecmp(r.range_u64(2, 5) as usize)
+        };
+        let n_links = match topo {
+            Topo::TwoPath => 2,
+            Topo::Ecmp(n) => n,
+        };
+        let strip = match topo {
+            Topo::TwoPath => {
+                let x = r.range_u64(0, 100);
+                if x < 20 {
+                    Strip::FromStart
+                } else if x < 35 {
+                    Strip::MidHandshake
+                } else {
+                    Strip::Off
+                }
+            }
+            Topo::Ecmp(_) => Strip::Off,
+        };
+        let link_cfgs: Vec<LinkCfg> = (0..n_links)
+            .map(|_| {
+                if strip == Strip::MidHandshake {
+                    // Pinned delays: the mid-handshake toggle instant
+                    // depends on them.
+                    LinkCfg::mbps_ms(5, 10)
+                } else {
+                    let mbps = r.range_u64(2, 21);
+                    let delay_ms = r.range_u64(2, 41);
+                    LinkCfg::mbps_ms(mbps, delay_ms).queue(r.range_u64(16, 129) as usize)
+                }
+            })
+            .collect();
+        let pm = if strip == Strip::MidHandshake {
+            // Joins would add subflows and defeat the single-subflow §3.7
+            // inference window; keep the case on one subflow.
+            PmMix::Noop
+        } else {
+            match (topo.clone(), r.range_u64(0, 3)) {
+                (_, 0) => PmMix::Noop,
+                (Topo::TwoPath, 1) => PmMix::BackupFlag,
+                (Topo::TwoPath, _) => PmMix::FullMesh,
+                (Topo::Ecmp(_), 1) => PmMix::Ndiffports(r.range_u64(2, 6) as u8),
+                (Topo::Ecmp(_), _) => PmMix::FullMesh,
+            }
+        };
+        let transfer = r.range_u64(20_000, 150_001);
+        let n_dyn = r.range_u64(0, 5) as usize;
+        let mut dynamics = Vec::with_capacity(n_dyn);
+        for _ in 0..n_dyn {
+            let at = SimTime::from_millis(r.range_u64(200, 30_000));
+            let link_idx = r.range_u64(0, n_links as u64) as usize;
+            let action = match r.range_u64(0, 5) {
+                0 => FuzzAction::Rate(r.range_u64(500_000, 20_000_001)),
+                1 => FuzzAction::Loss(r.range_u64(0, 26) as f64 / 100.0),
+                2 => FuzzAction::Delay(Duration::from_millis(r.range_u64(1, 61))),
+                3 => FuzzAction::Queue(r.range_u64(8, 129) as usize),
+                _ => FuzzAction::FlapDown(Duration::from_millis(r.range_u64(100, 2_001))),
+            };
+            dynamics.push(FuzzDyn {
+                at,
+                link_idx,
+                action,
+            });
+        }
+        FuzzCase {
+            seed,
+            topo,
+            link_cfgs,
+            pm,
+            transfer,
+            strip,
+            dynamics,
+            horizon: SimTime::from_secs(60),
+        }
+    }
+
+    /// One-line description (stable; part of the sweep trajectory).
+    pub fn describe(&self) -> String {
+        let topo = match self.topo {
+            Topo::TwoPath => "two_path".to_string(),
+            Topo::Ecmp(n) => format!("ecmp{n}"),
+        };
+        format!(
+            "{topo} pm={:?} strip={:?} transfer={} dyn={}",
+            self.pm,
+            self.strip,
+            self.transfer,
+            self.dynamics.len()
+        )
+    }
+}
+
+/// Build-time options the corpus never varies — the broken-build detection
+/// path flips them to prove the oracle notices.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Forwarded into every host's [`StackConfig::fallback_inference`].
+    pub fallback_inference: bool,
+    /// Dynamics entries to keep (`None` = all) — the shrinker's lever.
+    pub dynamics_keep: Option<Vec<bool>>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            fallback_inference: true,
+            dynamics_keep: None,
+        }
+    }
+}
+
+/// Outcome of one fuzz case.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// The seed (replay key).
+    pub seed: u64,
+    /// [`FuzzCase::describe`] of the derived case.
+    pub desc: String,
+    /// The simulator's run summary.
+    pub summary: RunSummary,
+    /// Oracle violations (wire + end-host), replay-labelled.
+    pub violations: Vec<String>,
+    /// Bytes the server application received.
+    pub delivered: u64,
+}
+
+/// Derive and run one case with default options.
+pub fn run_case(seed: u64) -> CaseOutcome {
+    run_case_opts(&FuzzCase::derive(seed), &FuzzOptions::default())
+}
+
+/// Run a (possibly modified) case under explicit options.
+pub fn run_case_opts(case: &FuzzCase, opts: &FuzzOptions) -> CaseOutcome {
+    let cfg = StackConfig {
+        fallback_inference: opts.fallback_inference,
+        ..StackConfig::default()
+    };
+    let mut client = Host::new("client", cfg.clone());
+    client.pm = match case.pm {
+        PmMix::Noop => Box::new(NoopPm),
+        PmMix::FullMesh => Box::new(FullMeshPm::new()),
+        PmMix::Ndiffports(n) => Box::new(NdiffportsPm::new(n)),
+        PmMix::BackupFlag => Box::new(BackupFlagPm::new(CLIENT_ADDR2)),
+    };
+    // No `stop_sim_when_acked()`: letting the world drain to a
+    // `StopReason::Idle` end keeps the oracle's end-of-run link-
+    // conservation *equality* check live for every case that completes
+    // (a requested stop would leave packets legitimately in flight and
+    // skip it).
+    client.connect_at(
+        SimTime::from_millis(CONNECT_AT_MS),
+        Some(CLIENT_ADDR1),
+        SERVER_ADDR,
+        80,
+        Box::new(BulkSender::new(case.transfer).close_when_done()),
+    );
+    let mut server = Host::new("server", cfg);
+    server.listen(
+        80,
+        Box::new(|| {
+            Box::new(Sink {
+                close_on_eof: true,
+                ..Default::default()
+            })
+        }),
+    );
+
+    // Build the world and the link table the abstract dynamics refer to.
+    let (mut sim, links, router, server_node) = match case.topo {
+        Topo::TwoPath => {
+            let net = topo::two_path(
+                case.seed,
+                client,
+                server,
+                case.link_cfgs[0].clone(),
+                case.link_cfgs[1].clone(),
+            );
+            (
+                net.sim,
+                vec![net.link1, net.link2],
+                Some(net.router),
+                net.server,
+            )
+        }
+        Topo::Ecmp(_) => {
+            let net = topo::ecmp(case.seed, client, server, &case.link_cfgs);
+            (net.sim, net.paths.clone(), None, net.server)
+        }
+    };
+    sim.core.set_trace(Box::new(Oracle::new()));
+
+    let mut script = DynamicsScript::new();
+    match (case.strip, router) {
+        (Strip::FromStart, Some(router)) => script.push(
+            SimTime::ZERO,
+            DynAction::Command {
+                node: router,
+                cmd: NodeCommand::StripMptcp(true),
+            },
+        ),
+        (Strip::MidHandshake, Some(router)) => script.push(
+            SimTime::from_millis(MID_STRIP_AT_MS),
+            DynAction::Command {
+                node: router,
+                cmd: NodeCommand::StripMptcp(true),
+            },
+        ),
+        _ => {}
+    }
+    for (i, d) in case.dynamics.iter().enumerate() {
+        if let Some(keep) = &opts.dynamics_keep {
+            if !keep.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+        }
+        let link: LinkId = links[d.link_idx.min(links.len() - 1)];
+        match d.action {
+            FuzzAction::Rate(bps) => script.push(
+                d.at,
+                DynAction::SetRate {
+                    link,
+                    dir: None,
+                    rate_bps: bps,
+                },
+            ),
+            FuzzAction::Loss(p) => script.push(
+                d.at,
+                DynAction::SetLoss {
+                    link,
+                    dir: None,
+                    loss: LossModel::Bernoulli(p),
+                },
+            ),
+            FuzzAction::Delay(delay) => script.push(
+                d.at,
+                DynAction::SetDelay {
+                    link,
+                    dir: None,
+                    delay,
+                },
+            ),
+            FuzzAction::Queue(pkts) => script.push(
+                d.at,
+                DynAction::SetQueue {
+                    link,
+                    dir: None,
+                    pkts,
+                },
+            ),
+            FuzzAction::FlapDown(down_for) => {
+                script.push(d.at, DynAction::LinkAdmin { link, up: false });
+                script.push(d.at + down_for, DynAction::LinkAdmin { link, up: true });
+            }
+        }
+    }
+    sim.install_dynamics(script);
+
+    let summary = sim.run_until(case.horizon);
+    let verdict = verify::conclude(&mut sim, &summary, "fuzz", case.seed);
+    let delivered = server_delivered(&sim, server_node);
+    CaseOutcome {
+        seed: case.seed,
+        desc: case.describe(),
+        summary,
+        violations: verdict.violations,
+        delivered,
+    }
+}
+
+fn server_delivered(sim: &Simulator, server: smapp_sim::NodeId) -> u64 {
+    topo::host(sim, server)
+        .stack
+        .connections()
+        .filter_map(|c| c.app())
+        .filter_map(|a| a.as_any().downcast_ref::<Sink>())
+        .map(|s| s.received)
+        .sum()
+}
+
+/// A shrunken failing case.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// Indices of the dynamics entries still needed to reproduce.
+    pub kept: Vec<usize>,
+    /// Violations of the minimized case.
+    pub violations: Vec<String>,
+}
+
+/// Minimize a failing case's dynamics script: greedily drop entries that
+/// are not needed to keep the oracle failing, to a fixed point. Returns
+/// `None` when the case does not fail in the first place.
+pub fn shrink(seed: u64, opts: &FuzzOptions) -> Option<Shrunk> {
+    let case = FuzzCase::derive(seed);
+    let n = case.dynamics.len();
+    let base = run_case_opts(&case, opts);
+    if base.violations.is_empty() {
+        return None;
+    }
+    let mut keep = vec![true; n];
+    let fails = |keep: &[bool]| {
+        let o = run_case_opts(
+            &case,
+            &FuzzOptions {
+                dynamics_keep: Some(keep.to_vec()),
+                ..opts.clone()
+            },
+        );
+        (!o.violations.is_empty()).then_some(o.violations)
+    };
+    let mut violations = base.violations;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if !keep[i] {
+                continue;
+            }
+            keep[i] = false;
+            match fails(&keep) {
+                Some(v) => {
+                    violations = v;
+                    changed = true;
+                }
+                None => keep[i] = true,
+            }
+        }
+    }
+    Some(Shrunk {
+        kept: (0..n).filter(|&i| keep[i]).collect(),
+        violations,
+    })
+}
+
+/// The committed fixed-seed corpus (`FUZZ_CORPUS.txt` at the repo root):
+/// one decimal seed per line, `#` comments allowed. CI fuzzes exactly this
+/// list, so every CI failure reproduces locally by seed.
+pub fn default_corpus() -> Vec<u64> {
+    parse_corpus(include_str!("../../../FUZZ_CORPUS.txt"))
+}
+
+/// Parse a corpus file: one decimal seed per line, `#` comments allowed.
+/// The one parser shared by [`default_corpus`] and the `fuzz` bin's
+/// `--corpus` flag, so the two can never drift apart.
+pub fn parse_corpus(text: &str) -> Vec<u64> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| l.parse().expect("corpus seeds are decimal u64"))
+        .collect()
+}
+
+/// Run a list of seeds across `jobs` workers (results in seed-list order).
+pub fn run_corpus(seeds: &[u64], jobs: usize) -> Vec<CaseOutcome> {
+    let jobs_vec: Vec<JobFn<'_, CaseOutcome>> = seeds
+        .iter()
+        .map(|&s| {
+            let f: JobFn<'_, CaseOutcome> = Box::new(move || run_case(s));
+            f
+        })
+        .collect();
+    run_jobs(jobs_vec, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_varied() {
+        let a = FuzzCase::derive(1234);
+        let b = FuzzCase::derive(1234);
+        assert_eq!(a.describe(), b.describe());
+        assert_eq!(a.transfer, b.transfer);
+        // Across a seed range, both topology families and at least one
+        // stripping case appear.
+        let cases: Vec<FuzzCase> = (0..40).map(FuzzCase::derive).collect();
+        assert!(cases.iter().any(|c| c.topo == Topo::TwoPath));
+        assert!(cases.iter().any(|c| matches!(c.topo, Topo::Ecmp(_))));
+        assert!(cases.iter().any(|c| c.strip != Strip::Off));
+        assert!(cases.iter().any(|c| !c.dynamics.is_empty()));
+    }
+
+    #[test]
+    fn corpus_file_parses_and_is_large_enough() {
+        let corpus = default_corpus();
+        assert!(
+            corpus.len() >= 100,
+            "CI must fuzz at least 100 cases, corpus has {}",
+            corpus.len()
+        );
+        let mut dedup = corpus.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), corpus.len(), "corpus seeds are unique");
+    }
+
+    #[test]
+    fn a_case_runs_oracle_clean_and_reruns_identically() {
+        let a = run_case(default_corpus()[0]);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        let b = run_case(default_corpus()[0]);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.delivered, b.delivered);
+    }
+
+    #[test]
+    fn mid_handshake_strip_cases_exercise_fallback_inference() {
+        // At least one corpus seed must land in the §3.7 inference family,
+        // and it must run clean on the healthy build.
+        let seed = default_corpus()
+            .into_iter()
+            .find(|&s| FuzzCase::derive(s).strip == Strip::MidHandshake)
+            .expect("corpus covers the mid-handshake strip family");
+        let out = run_case(seed);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.delivered > 0, "fallback still delivers");
+    }
+
+    #[test]
+    fn broken_fallback_inference_is_caught_with_a_replayable_seed() {
+        // The acceptance-criteria experiment: disable the RFC 6824 §3.7
+        // fallback inference (a deliberately broken build) and the oracle
+        // must flag the run, naming the seed.
+        let seed = default_corpus()
+            .into_iter()
+            .find(|&s| FuzzCase::derive(s).strip == Strip::MidHandshake)
+            .expect("corpus covers the mid-handshake strip family");
+        let out = run_case_opts(
+            &FuzzCase::derive(seed),
+            &FuzzOptions {
+                fallback_inference: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !out.violations.is_empty(),
+            "oracle must catch the broken build"
+        );
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.contains(&format!("seed={seed}")) && v.contains("DSS mapping")),
+            "violation names the replayable seed and the missing mappings: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn shrinker_returns_none_for_clean_cases() {
+        assert!(shrink(default_corpus()[0], &FuzzOptions::default()).is_none());
+    }
+}

@@ -17,15 +17,21 @@
 //!   noise — the honest perf numbers live in `BENCH_PR4.json`.
 //! * Every scenario registered in [`crate::scenarios::ALL`] must appear in
 //!   the report — a new scenario cannot silently skip benchmarking.
+//! * The generated-scenario fuzz corpus must have run with **zero**
+//!   protocol-invariant oracle violations; a missing fuzz section fails
+//!   the gate too (the corpus cannot silently stop running).
 //!
 //! The parser is deliberately tiny and hand-rolled (the workspace carries
 //! no serde): it only reads the flat `"key": value` shapes `perf_report`
 //! emits.
 
 /// Aggregate smoke events/sec committed as the gate baseline, measured
-/// with `perf_report --smoke --jobs 2` on the PR-4 reference machine.
-/// Update when the smoke workload composition changes materially.
-pub const SMOKE_BASELINE_EVENTS_PER_SEC: f64 = 2_400_000.0;
+/// with `perf_report --smoke --jobs 2` on the reference machine.
+/// Update when the smoke workload composition changes materially — last
+/// re-measured after PR 5 wired the always-on protocol-invariant oracle
+/// (tracing + per-segment option walk) into every scenario, which costs
+/// about a third of the PR-4 figure of 2.4M.
+pub const SMOKE_BASELINE_EVENTS_PER_SEC: f64 = 1_500_000.0;
 
 /// Default minimum fraction of [`SMOKE_BASELINE_EVENTS_PER_SEC`] a smoke
 /// run must reach: generous enough for slow shared CI runners, tight
@@ -42,6 +48,8 @@ pub struct GateReport {
     pub fig2c_parity: Option<bool>,
     /// Scenario row names found (`"fig2a/backup"`, …).
     pub scenario_names: Vec<String>,
+    /// The report's fuzz-corpus oracle-violation count (`None` = missing).
+    pub fuzz_violations: Option<u64>,
     /// Aggregate events/sec over all scenario rows.
     pub events_per_sec: f64,
     /// Human-readable failed invariants; empty = gate passes.
@@ -138,6 +146,30 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
         }
     }
 
+    // Fuzz corpus: the generated scenarios must have run (cases > 0),
+    // oracle-clean (violations == 0).
+    let fuzz_violations = raw_value(json, "violations").and_then(|v| v.parse::<u64>().ok());
+    match fuzz_violations {
+        Some(0) => {}
+        Some(n) => failures.push(format!(
+            "fuzz corpus reported {n} protocol-invariant oracle violation(s) — \
+             replay the offending seed with `fuzz -- --replay <seed>`"
+        )),
+        None => failures.push(
+            "report carries no fuzz violation count — the generated-scenario \
+             corpus did not run"
+                .to_string(),
+        ),
+    }
+    let fuzz_cases = raw_value(json, "cases").and_then(|v| v.parse::<u64>().ok());
+    if fuzz_violations.is_some() && fuzz_cases.unwrap_or(0) == 0 {
+        failures.push(
+            "fuzz section reports zero generated cases — the corpus silently \
+             stopped running"
+                .to_string(),
+        );
+    }
+
     let floor = SMOKE_BASELINE_EVENTS_PER_SEC * min_ratio;
     if events_per_sec < floor {
         failures.push(format!(
@@ -151,6 +183,7 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
         parallel_parity,
         fig2c_parity,
         scenario_names,
+        fuzz_violations,
         events_per_sec,
         failures,
     }
@@ -178,6 +211,7 @@ mod tests {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"fuzz\": {\"cases\": 4, \"violations\": 0},\n");
         s.push_str(&format!("  \"fig2c_trajectory_parity\": {fig2c}\n"));
         s.push_str("}\n");
         s
@@ -218,6 +252,31 @@ mod tests {
         let slow = sample("true", "null", 100);
         assert!(!check(&slow, DEFAULT_MIN_RATIO).passed());
         assert!(check(&slow, 0.0).passed());
+    }
+
+    #[test]
+    fn zero_fuzz_cases_fails() {
+        let empty = sample("true", "null", 10_000_000).replace("\"cases\": 4", "\"cases\": 0");
+        let r = check(&empty, DEFAULT_MIN_RATIO);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("zero generated cases")));
+    }
+
+    #[test]
+    fn fuzz_violations_fail_and_missing_section_fails() {
+        let bad =
+            sample("true", "null", 10_000_000).replace("\"violations\": 0", "\"violations\": 3");
+        let r = check(&bad, DEFAULT_MIN_RATIO);
+        assert_eq!(r.fuzz_violations, Some(3));
+        assert!(r.failures.iter().any(|f| f.contains("oracle violation")));
+
+        let gone = sample("true", "null", 10_000_000)
+            .replace("  \"fuzz\": {\"cases\": 4, \"violations\": 0},\n", "");
+        let r = check(&gone, DEFAULT_MIN_RATIO);
+        assert_eq!(r.fuzz_violations, None);
+        assert!(r.failures.iter().any(|f| f.contains("corpus did not run")));
     }
 
     #[test]

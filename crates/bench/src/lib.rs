@@ -21,6 +21,14 @@
 //! MPTCP-option-stripping hop forcing graceful plain-TCP fallback) —
 //! plus the many-client [`scenarios::fleet`] workload.
 //!
+//! Every run executes under the protocol-invariant oracle
+//! (`smapp_sim::Oracle` + the `smapp-mptcp` end-host taps, concluded by
+//! `smapp_pm::verify`), and the [`fuzz`] module turns that oracle into a
+//! specification to fuzz against: seed-derived topologies, dynamics
+//! scripts and controller mixes, with failing cases shrunk to a minimal
+//! dynamics subset and reported as replayable `(scenario, seed, time)`
+//! triples (`fuzz` binary; fixed corpus in `FUZZ_CORPUS.txt`).
+//!
 //! The `perf_report` binary ([`perf`]) drives the full scenario×seed
 //! matrix — every paper artifact above plus the beyond-paper workloads —
 //! through the deterministic multi-core [`sweep`] engine (`--jobs N`),
@@ -36,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod count_alloc;
+pub mod fuzz;
 pub mod gate;
 pub mod perf;
 pub mod pms;

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use crate::scenarios::{fig2a, fig2b, fig2c, fig3, flap, fleet, handover, middlebox, sec42};
+use crate::scenarios::{fig2a, fig2b, fig2c, fig3, flap, fleet, fuzz, handover, middlebox, sec42};
 use crate::sweep::{digest_f64s, fnv1a, parity, Matrix, MatrixEntry, ScenarioRun, SweepResult};
 
 /// fig2c seeds measured into the baseline.
@@ -378,7 +378,43 @@ pub fn paper_matrix(smoke: bool) -> Matrix {
         .workload(workload),
     );
 
+    // fuzz — generated scenarios from the committed fixed-seed corpus,
+    // protocol-invariant oracle enabled. A `viol=` count other than zero in
+    // any trajectory fails the CI gate (and the full corpus runs in the
+    // dedicated `fuzz` bin / CI job).
+    let n_fuzz = if smoke { 4 } else { 12 };
+    let seeds = fuzz::matrix_seeds(n_fuzz);
+    let workload =
+        format!("{n_fuzz} generated (topology x dynamics x controller) cases, oracle on");
+    entries.push(
+        MatrixEntry::new("fuzz", "corpus", seeds, move |seed| {
+            let (summary, out) = fuzz::run_instrumented(seed);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "viol={} delivered={} {}",
+                    out.violations.len(),
+                    out.delivered,
+                    out.desc
+                ),
+            }
+        })
+        .workload(workload),
+    );
+
     Matrix { entries }
+}
+
+/// Parse the `viol=N` prefix a fuzz-row trajectory starts with. An
+/// unparseable row (format drift between the matrix closure and this
+/// parser) counts as one violation so the gate fails loudly instead of
+/// reading a broken row as clean.
+fn fuzz_violations_in(trajectory: &str) -> u64 {
+    trajectory
+        .strip_prefix("viol=")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Aggregate measurements of one `(scenario, variant)` matrix row, from
@@ -432,6 +468,10 @@ pub struct PerfReport {
     pub scenarios: Vec<ScenarioPerf>,
     /// Peak event-queue depth of the fleet run (vs fig3's 5737).
     pub fleet_peak_queue: usize,
+    /// Generated fuzz cases executed (oracle enabled) in the matrix.
+    pub fuzz_cases: usize,
+    /// Total oracle violations across those cases (0 on a healthy build).
+    pub fuzz_violations: u64,
     /// fig2c single-thread speedup over [`FIG2C_BASELINE`] (full mode only).
     pub fig2c_speedup: Option<f64>,
     /// fig2c single-thread events/sec relative to the PR-2 figure
@@ -553,6 +593,13 @@ pub fn run_all(smoke: bool, jobs: usize) -> PerfReport {
         .max()
         .unwrap_or(0);
 
+    let fuzz_rows: Vec<&SweepResult> = seq.iter().filter(|r| r.scenario == "fuzz").collect();
+    let fuzz_cases = fuzz_rows.len();
+    let fuzz_violations = fuzz_rows
+        .iter()
+        .map(|r| fuzz_violations_in(&r.run.trajectory))
+        .fold(0u64, u64::saturating_add);
+
     PerfReport {
         smoke,
         jobs,
@@ -564,6 +611,8 @@ pub fn run_all(smoke: bool, jobs: usize) -> PerfReport {
         parallel_parity,
         scenarios: aggregate(&matrix, &seq),
         fleet_peak_queue,
+        fuzz_cases,
+        fuzz_violations,
         fig2c_speedup,
         fig2c_vs_pr2,
         fig2c_parity,
@@ -624,6 +673,10 @@ impl PerfReport {
             "  \"fleet\": {{\"peak_queue\": {}, \"fig3_peak_queue_reference\": 5737}},\n",
             self.fleet_peak_queue
         ));
+        s.push_str(&format!(
+            "  \"fuzz\": {{\"cases\": {}, \"violations\": {}}},\n",
+            self.fuzz_cases, self.fuzz_violations
+        ));
         match self.fig2c_speedup {
             Some(x) => s.push_str(&format!("  \"fig2c_speedup_vs_baseline\": {x:.3},\n")),
             None => s.push_str("  \"fig2c_speedup_vs_baseline\": null,\n"),
@@ -678,6 +731,10 @@ impl PerfReport {
                 p.sim_s
             ));
         }
+        s.push_str(&format!(
+            "fuzz: {} generated cases, {} oracle violation(s)\n",
+            self.fuzz_cases, self.fuzz_violations
+        ));
         if let Some(x) = self.fig2c_speedup {
             s.push_str(&format!(
                 "fig2c vs {} baseline: {:.2}x events/sec (vs PR2: {:.2}x)\n",
@@ -726,16 +783,20 @@ mod tests {
             "handover/backup",
             "flap/refresh",
             "middlebox/strip",
+            "fuzz/corpus",
         ] {
             assert!(
                 names.contains(&want),
                 "matrix row {want} missing: {names:?}"
             );
         }
+        assert_eq!(r.fuzz_cases, 4, "smoke matrix runs 4 fuzz cases");
+        assert_eq!(r.fuzz_violations, 0, "fuzz corpus oracle-clean");
         let json = r.to_json();
         assert!(json.contains("\"fig2c_trajectory_parity\": null"));
         assert!(json.contains("\"parallel_parity\": true"));
         assert!(json.contains("\"name\": \"fleet/mixed\""));
+        assert!(json.contains("\"fuzz\": {\"cases\": 4, \"violations\": 0}"));
         // Crude structural check: braces balance.
         assert_eq!(
             json.matches('{').count(),

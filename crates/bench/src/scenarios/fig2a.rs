@@ -109,7 +109,9 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     );
     let mut sim = net.sim;
     sim.core
-        .set_trace(Box::new(SeqTraceSink::new(vec![net.link1, net.link2])));
+        .set_trace(smapp_sim::Oracle::wrapping(Box::new(SeqTraceSink::new(
+            vec![net.link1, net.link2],
+        ))));
     let l1 = net.link1;
     let (onset, loss) = (p.loss_onset, p.loss);
     sim.at(onset, move |core| {
@@ -117,7 +119,9 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     });
     let summary = sim.run_until(p.horizon);
 
-    let sink = sim.core.take_trace().expect("trace sink installed");
+    let verdict = smapp_pm::verify::conclude(&mut sim, &summary, "fig2a", p.seed);
+    verdict.expect_clean();
+    let sink = verdict.inner.expect("trace sink installed");
     let rows = sink
         .as_any()
         .downcast_ref::<SeqTraceSink>()

@@ -105,6 +105,7 @@ pub fn run_one_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, Ve
         LinkCfg::mbps_ms(5, 10),
     );
     let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
     let l1 = net.link1;
     let loss = p.loss;
     // Loss starts with the stream (after the handshake completes).
@@ -112,6 +113,7 @@ pub fn run_one_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, Ve
         core.set_loss_both(l1, LossModel::Bernoulli(loss));
     });
     let summary = sim.run_until(SimTime::from_secs(p.blocks + 120));
+    smapp_pm::verify::conclude(&mut sim, &summary, "fig2b", seed).expect_clean();
 
     // Pair block completions (sink side) with block starts (sender side).
     let starts: Vec<SimTime> = topo::host(&sim, net.client)

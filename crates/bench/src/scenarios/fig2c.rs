@@ -114,8 +114,10 @@ pub fn run_one_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, us
     );
     let net = topo::ecmp(seed, client, server, &paper_paths());
     let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
     // Generous horizon: worst case (1 path) is ~110 s for 100 MB.
     let summary = sim.run_until(SimTime::from_secs(1200));
+    smapp_pm::verify::conclude(&mut sim, &summary, "fig2c", seed).expect_clean();
     let used = net
         .paths
         .iter()

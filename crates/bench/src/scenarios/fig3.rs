@@ -107,11 +107,14 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Cdf, u32) {
     let lab = LinkCfg::new(1_000_000_000, std::time::Duration::from_micros(50));
     let net = topo::two_path(p.seed, client, server, lab.clone(), lab);
     let mut sim = net.sim;
-    sim.core
-        .set_trace(Box::new(HandshakeTraceSink::new(net.client)));
+    sim.core.set_trace(smapp_sim::Oracle::wrapping(Box::new(
+        HandshakeTraceSink::new(net.client),
+    )));
     let summary = sim.run_until(SimTime::from_secs(3600));
 
-    let sink = sim.core.take_trace().expect("sink installed");
+    let verdict = smapp_pm::verify::conclude(&mut sim, &summary, "fig3", p.seed);
+    verdict.expect_clean();
+    let sink = verdict.inner.expect("sink installed");
     let deltas_us: Vec<f64> = sink
         .as_any()
         .downcast_ref::<HandshakeTraceSink>()

@@ -112,6 +112,7 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     let path_cfgs: Vec<LinkCfg> = (1..=4).map(|i| LinkCfg::mbps_ms(8, 10 * i)).collect();
     let net = topo::ecmp(p.seed, client, server, &path_cfgs);
     let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
 
     // Flap the first (fastest) bottleneck path: down for `down_for` every
     // `period`, `flaps` times.
@@ -137,6 +138,7 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     sim.install_dynamics(script);
 
     let summary = sim.run_until(p.horizon);
+    smapp_pm::verify::conclude(&mut sim, &summary, "flap", p.seed).expect_clean();
 
     let delivered = topo::host(&sim, net.server)
         .stack

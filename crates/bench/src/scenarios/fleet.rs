@@ -112,6 +112,7 @@ pub fn run_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, FleetS
         "fleet addressing supports at most {MAX_CLIENTS} clients"
     );
     let mut sim = Simulator::new(seed);
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
 
     // Server.
     let response = p.response;
@@ -222,6 +223,7 @@ pub fn run_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, FleetS
     }
 
     let summary = sim.run_until(p.horizon);
+    smapp_pm::verify::conclude(&mut sim, &summary, "fleet", seed).expect_clean();
 
     // Fold every client's completion series into the stats.
     let mut completed = 0u64;

@@ -1,0 +1,43 @@
+//! Fuzz — randomized generated scenarios under the protocol-invariant
+//! oracle, as a first-class registered scenario.
+//!
+//! The generator lives in [`crate::fuzz`]; this module is the thin
+//! scenario adapter that puts a slice of the committed fixed-seed corpus
+//! into the perf/sweep matrix, so every `perf_report` run (and therefore
+//! every CI build, via `perf_gate`) executes generated scenarios with the
+//! oracle enabled alongside the hand-written ones. The full corpus runs in
+//! the dedicated `fuzz` binary / CI job.
+
+use crate::fuzz::{run_case, CaseOutcome};
+
+/// Run one corpus seed; the matrix adapter.
+pub fn run_instrumented(seed: u64) -> (smapp_sim::RunSummary, CaseOutcome) {
+    let out = run_case(seed);
+    (out.summary, out)
+}
+
+/// The corpus slice the matrix runs: `n` seeds from the front of the
+/// committed corpus (smoke keeps it small; the `fuzz` bin runs everything).
+pub fn matrix_seeds(n: usize) -> Vec<u64> {
+    let corpus = crate::fuzz::default_corpus();
+    corpus.into_iter().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_slice_is_a_corpus_prefix() {
+        let s = matrix_seeds(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s, crate::fuzz::default_corpus()[..4].to_vec());
+    }
+
+    #[test]
+    fn adapter_reports_the_case_outcome() {
+        let (summary, out) = run_instrumented(matrix_seeds(1)[0]);
+        assert_eq!(summary, out.summary);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+}

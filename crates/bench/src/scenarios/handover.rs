@@ -120,7 +120,9 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     );
     let mut sim = net.sim;
     sim.core
-        .set_trace(Box::new(SeqTraceSink::new(vec![net.link1, net.link2])));
+        .set_trace(smapp_sim::Oracle::wrapping(Box::new(SeqTraceSink::new(
+            vec![net.link1, net.link2],
+        ))));
 
     // The mobility script: degrade, then hard-break, the WiFi path.
     sim.install_dynamics(
@@ -143,7 +145,9 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     );
     let summary = sim.run_until(p.horizon);
 
-    let sink = sim.core.take_trace().expect("trace installed");
+    let verdict = smapp_pm::verify::conclude(&mut sim, &summary, "handover", p.seed);
+    verdict.expect_clean();
+    let sink = verdict.inner.expect("trace installed");
     let rows = sink
         .as_any()
         .downcast_ref::<SeqTraceSink>()

@@ -104,6 +104,7 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
         LinkCfg::mbps_ms(5, 10),
     );
     let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
     if p.strip {
         sim.install_dynamics(DynamicsScript::new().at(
             p.strip_at,
@@ -114,6 +115,7 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
         ));
     }
     let summary = sim.run_until(p.horizon);
+    smapp_pm::verify::conclude(&mut sim, &summary, "middlebox", p.seed).expect_clean();
 
     let conn_facts = topo::host(&sim, net.client)
         .stack

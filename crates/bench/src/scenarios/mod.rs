@@ -1,6 +1,8 @@
 //! Experiment scenarios — one module per paper artifact, plus workloads
-//! that go beyond the paper (the many-client [`fleet`] and the scripted
-//! network-dynamics trio [`handover`], [`flap`], [`middlebox`]).
+//! that go beyond the paper (the many-client [`fleet`], the scripted
+//! network-dynamics trio [`handover`], [`flap`], [`middlebox`], and the
+//! generated-scenario [`fuzz`] corpus running under the protocol-invariant
+//! oracle).
 
 pub mod fig2a;
 pub mod fig2b;
@@ -8,6 +10,7 @@ pub mod fig2c;
 pub mod fig3;
 pub mod flap;
 pub mod fleet;
+pub mod fuzz;
 pub mod handover;
 pub mod middlebox;
 pub mod sec42;
@@ -24,6 +27,7 @@ pub const ALL: &[&str] = &[
     "fig3",
     "flap",
     "fleet",
+    "fuzz",
     "handover",
     "middlebox",
     "sec42",

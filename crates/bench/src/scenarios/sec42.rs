@@ -102,7 +102,9 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     );
     let mut sim = net.sim;
     sim.core
-        .set_trace(Box::new(SeqTraceSink::new(vec![net.link1, net.link2])));
+        .set_trace(smapp_sim::Oracle::wrapping(Box::new(SeqTraceSink::new(
+            vec![net.link1, net.link2],
+        ))));
     let l1 = net.link1;
     sim.at(p.loss_onset, move |core| {
         core.set_loss_both(l1, LossModel::Bernoulli(1.0));
@@ -111,7 +113,9 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     // finish afterwards.
     let summary = sim.run_until(SimTime::from_secs(1800));
 
-    let sink = sim.core.take_trace().expect("trace installed");
+    let verdict = smapp_pm::verify::conclude(&mut sim, &summary, "sec42", p.seed);
+    verdict.expect_clean();
+    let sink = verdict.inner.expect("trace installed");
     let rows = sink
         .as_any()
         .downcast_ref::<SeqTraceSink>()

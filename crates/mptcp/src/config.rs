@@ -33,6 +33,12 @@ pub struct StackConfig {
     pub syn_retries: u32,
     /// Speak Multipath TCP (false = plain TCP fallback behaviour).
     pub mptcp_enabled: bool,
+    /// Infer a plain-TCP fallback when MPTCP was negotiated but the peer's
+    /// first data arrives DSS-less (RFC 6824 §3.7 — a mid-path option
+    /// stripper). Default on; exists as a knob so the protocol-invariant
+    /// oracle's broken-build detection test can prove that disabling the
+    /// mechanism is caught (unmapped receive bytes).
+    pub fallback_inference: bool,
 }
 
 impl Default for StackConfig {
@@ -47,6 +53,7 @@ impl Default for StackConfig {
             window_scale: 7,
             syn_retries: 6,
             mptcp_enabled: true,
+            fallback_inference: true,
         }
     }
 }

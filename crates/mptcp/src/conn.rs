@@ -21,8 +21,8 @@ use std::time::Duration;
 use bytes::Bytes;
 use smapp_sim::{Addr, SimTime};
 use smapp_tcp::{
-    lia_alpha, CongestionControl, Lia, Reno, RtoState, TcpFlags, TcpHeader, TcpInfo, TcpOption,
-    TcpSegment,
+    lia_alpha, CongestionControl, Lia, Reno, RtoState, StreamTap, TcpFlags, TcpHeader, TcpInfo,
+    TcpOption, TcpSegment,
 };
 
 use crate::app::{App, AppCtx};
@@ -74,6 +74,20 @@ pub struct ConnStats {
     /// DSS option — a middlebox stripped the options mid-path and the
     /// connection inferred a plain-TCP fallback (RFC 6824 §3.7).
     pub fallback_inferred: bool,
+    /// Oracle tap: rolling digest over every byte the application wrote,
+    /// in stream order (see `smapp_tcp::check`).
+    pub tap_sent: StreamTap,
+    /// Oracle tap: rolling digest over every byte delivered to the
+    /// application, in stream order.
+    pub tap_recvd: StreamTap,
+    /// In-order subflow bytes that arrived without a DSS mapping and were
+    /// discarded (RFC 6824 protocol violation by the peer — or a stripped
+    /// path the fallback inference failed to catch). Oracle-clean runs
+    /// have zero.
+    pub unmapped_rx_bytes: u64,
+    /// End-host invariant violations recorded by the connection's own
+    /// taps (capped; the count is what gates).
+    pub integrity_violations: Vec<String>,
 }
 
 /// Connection-level info exposed to path managers and controllers.
@@ -337,6 +351,14 @@ impl Connection {
     /// True when the connection fell back to plain TCP.
     pub fn is_fallback(&self) -> bool {
         self.fallback
+    }
+
+    /// Record an end-host oracle violation (capped; see
+    /// [`ConnStats::integrity_violations`]).
+    fn integrity_violation(&mut self, detail: String) {
+        if self.stats.integrity_violations.len() < 16 {
+            self.stats.integrity_violations.push(detail);
+        }
     }
 
     fn set_remote_key(&mut self, key: Key) {
@@ -662,7 +684,9 @@ impl Connection {
         if self.app_closed || self.state == ConnState::Closed {
             return 0;
         }
-        self.meta_send.write(data)
+        let n = self.meta_send.write(data);
+        self.stats.tap_sent.update(&data[..n]);
+        n
     }
 
     pub(crate) fn app_close(&mut self) {
@@ -1604,7 +1628,9 @@ impl Connection {
             }
         }
 
-        // ---- fallback inference (RFC 6824 §3.7) ----
+        // ---- fallback inference (RFC 6824 §3.7; `cfg.fallback_inference`
+        // exists so the oracle's broken-build detection test can switch the
+        // mechanism off and prove the invariant checker catches it) ----
         // MPTCP was negotiated, yet the very first data-bearing segment on
         // the (sole) initial subflow carries no DSS option: a middlebox on
         // the path is stripping MPTCP options — possibly in one direction
@@ -1613,7 +1639,8 @@ impl Connection {
         // unmapped forever. Fall back to plain TCP on this subflow and
         // refuse further joins, exactly as if the handshake had fallen
         // back.
-        if !self.fallback
+        if cfg.fallback_inference
+            && !self.fallback
             && id == 0
             && self.subflows.len() == 1
             && dss.is_none()
@@ -1712,7 +1739,14 @@ impl Connection {
                             inner_off += take;
                         }
                         None => {
-                            // Unmapped bytes: protocol violation; drop rest.
+                            // Unmapped bytes: protocol violation; drop the
+                            // rest of the chunk (and let the oracle see it).
+                            let dropped = (chunk.len() - inner_off) as u64;
+                            self.stats.unmapped_rx_bytes += dropped;
+                            self.integrity_violation(format!(
+                                "{dropped} in-order subflow bytes at ssn {at} carry no \
+                                 DSS mapping (discarded)"
+                            ));
                             inner_off = chunk.len();
                         }
                     }
@@ -1721,6 +1755,16 @@ impl Connection {
             }
             let sf = &mut self.subflows[id as usize];
             sf.gc_recv_maps();
+            // Window-bound tap: everything buffered above the meta socket
+            // must fit the advertised receive buffer — the sender can only
+            // have sent into windows we opened.
+            let buffered = self.meta_recv.buffered_bytes();
+            if buffered > self.recv_buf {
+                let cap = self.recv_buf;
+                self.integrity_violation(format!(
+                    "receive reassembly holds {buffered} bytes > receive buffer {cap}"
+                ));
+            }
         }
 
         // ---- DATA_FIN ----
@@ -1883,6 +1927,18 @@ impl Connection {
         self.meta_send.release_until(release_to);
         self.meta_una = acked.min(self.fin_sent_off.unwrap_or(acked));
         self.gc_reinject();
+        // Send-side sequence-space bounds: una never passes snd_nxt, and
+        // snd_nxt never passes the bytes the application actually wrote.
+        if self.meta_una > self.meta_snd_nxt || self.meta_snd_nxt > self.meta_send.tail_offset() {
+            let (una, nxt, tail) = (
+                self.meta_una,
+                self.meta_snd_nxt,
+                self.meta_send.tail_offset(),
+            );
+            self.integrity_violation(format!(
+                "meta sequence bounds broken: una={una} snd_nxt={nxt} tail={tail}"
+            ));
+        }
         if self.meta_send.free() > had_free && !self.app_closed {
             self.app_event_send_space(env);
         }
@@ -1894,6 +1950,7 @@ impl Connection {
         let chunks = self.meta_recv.pop_ready();
         for c in chunks {
             self.stats.bytes_received += c.len() as u64;
+            self.stats.tap_recvd.update(&c);
             self.app_event_data(env, c);
         }
         if let Some(f) = self.peer_fin_off {

@@ -11,7 +11,10 @@
 //!   path manager + optional userspace controller behind a latency-modeled
 //!   netlink boundary, pluggable into `smapp-sim` as a node;
 //! * [`topo`] — the paper's Mininet topologies (two-path, ECMP fan,
-//!   firewalled) as one-call builders.
+//!   firewalled) as one-call builders;
+//! * [`verify`] — run-level protocol-invariant oracle verdicts: the wire
+//!   oracle (`smapp_sim::Oracle`) plus every host's connection taps,
+//!   cross-checked, in one [`conclude`] call.
 
 #![warn(missing_docs)]
 
@@ -20,9 +23,11 @@ pub mod host;
 pub mod ndiffports;
 pub mod netlink_pm;
 pub mod topo;
+pub mod verify;
 
 pub use fullmesh::FullMeshPm;
 pub use host::Host;
 pub use ndiffports::NdiffportsPm;
 pub use netlink_pm::NetlinkPm;
 pub use topo::{ecmp, firewalled, host, host_mut, two_path, EcmpNet, FirewalledNet, TwoPathNet};
+pub use verify::{conclude, RunVerdict};

@@ -14,7 +14,11 @@
 //!   link/interface flaps, middlebox control — executed through the
 //!   calendar event queue ([`DynamicsScript`], [`dynamics`]),
 //! * a tracing facility equivalent to running tcpdump on every link
-//!   ([`TraceSink`]).
+//!   ([`TraceSink`]),
+//! * an always-on protocol-invariant checker built on that tracing
+//!   facility ([`Oracle`]): time monotonicity, per-link packet
+//!   conservation, TCP/MPTCP wire sanity — composable around any other
+//!   sink.
 //!
 //! Hosts (TCP/MPTCP stacks, applications, subflow controllers) are built in
 //! the upper crates by implementing the [`Node`] trait.
@@ -65,6 +69,7 @@ pub mod firewall;
 pub mod hash;
 pub mod link;
 pub mod node;
+pub mod oracle;
 pub mod packet;
 pub mod rng;
 pub mod router;
@@ -78,6 +83,7 @@ pub use firewall::{DenyPolicy, Firewall};
 pub use hash::{FxHashMap, FxHashSet};
 pub use link::{Dir, DropReason, LinkCfg, LinkDirStats, LinkId, LossModel};
 pub use node::{Iface, IfaceId, Node, NodeId};
+pub use oracle::{Oracle, OracleOutcome, Violation};
 pub use packet::{IcmpMsg, Packet, PktSummary, UnreachCode, IP_HEADER_LEN, PROTO_ICMP, PROTO_TCP};
 pub use rng::SimRng;
 pub use router::{Route, Router};

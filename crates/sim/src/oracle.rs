@@ -1,0 +1,748 @@
+//! The protocol-invariant oracle: an always-on wire-level checker.
+//!
+//! [`Oracle`] is a *composable* [`TraceSink`]: install it alone, or let it
+//! wrap the sink a scenario already uses ([`Oracle::wrapping`]) — every
+//! trace event is checked first and then forwarded unchanged. The oracle is
+//! a pure observer (no RNG use, no state the simulation can see), so
+//! attaching it never perturbs a trajectory; per-seed runs stay
+//! bit-identical with or without it.
+//!
+//! Checked online, on every event:
+//!
+//! * **time monotonicity** — trace timestamps never decrease (the calendar
+//!   event queue's ordering contract, observed end to end);
+//! * **per-link packet conservation** — per link, transmissions never
+//!   exceed admissions, and deliveries plus post-serialization drops never
+//!   exceed transmissions; at an [`StopReason::Idle`] end of run the
+//!   inequalities must close to equalities (no packet vanishes or is
+//!   minted inside a link);
+//! * **TCP parseability** — every TCP packet handed to an interface
+//!   carries a structurally valid TCP segment (header, data offset, option
+//!   TLV walk). This is the check that catches a middlebox rewriter
+//!   corrupting segments it should normalize;
+//! * **MPTCP option sanity** — kind-30 options parse (known subtype,
+//!   plausible length), a DSS mapping covers exactly the segment's payload
+//!   (RFC 6824 §3.3: our endpoints map whole segments), and `MP_CAPABLE`
+//!   keys are unique across connections (key collision ⇒ token collision ⇒
+//!   mis-demuxed `MP_JOIN`s — the token-uniqueness requirement of §3.1).
+//!
+//! Violations carry the simulated time; the run harness
+//! (`smapp_pm::verify`) prefixes the `(scenario, seed)` pair so every
+//! report is a replayable triple. End-host invariants (byte-stream
+//! integrity above the meta socket, DSS mapping coverage at the receiver,
+//! buffer/window bounds) live in the `smapp-mptcp` connection taps; this
+//! module checks everything observable on the wire.
+
+use crate::hash::FxHashMap;
+use crate::packet::{Packet, PROTO_TCP};
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
+use crate::world::{RunSummary, StopReason};
+use crate::DropReason;
+
+/// One invariant violation, timestamped for replay.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Simulated time of the offending event (end-of-run checks use the
+    /// run's final time).
+    pub at: SimTime,
+    /// Short invariant identifier (`time-monotonicity`,
+    /// `link-conservation`, `tcp-parse`, `dss-mapping`, `token-uniqueness`).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={} [{}] {}", self.at, self.invariant, self.detail)
+    }
+}
+
+/// Per-link conservation counters (both directions folded together; the
+/// invariants hold per direction, hence also for the sum).
+#[derive(Clone, Copy, Debug, Default)]
+struct LinkFlow {
+    enqueued: u64,
+    tx_started: u64,
+    delivered: u64,
+    /// Drops after serialization started (random loss, iface down at
+    /// delivery) — these consume a transmission.
+    dropped_after_tx: u64,
+}
+
+/// Cap on stored violations; a broken build can violate millions of times
+/// and the first few are what matter.
+const MAX_VIOLATIONS: usize = 64;
+
+/// The wire-level invariant checker. See the module docs.
+pub struct Oracle {
+    inner: Option<Box<dyn TraceSink>>,
+    last_at: SimTime,
+    links: Vec<LinkFlow>,
+    /// MP_CAPABLE sender keys seen on initial SYNs, with the flow that
+    /// introduced each: `(src, dst, src_port, dst_port)` packed to a u64
+    /// pair for cheap equality.
+    capable_keys: FxHashMap<u64, (u32, u32, u16, u16)>,
+    violations: Vec<Violation>,
+    /// Violations beyond the storage cap (counted, not stored).
+    pub suppressed: u64,
+    /// Trace events observed (diagnostics).
+    pub events_seen: u64,
+}
+
+impl Oracle {
+    /// A standalone oracle (no inner sink).
+    pub fn new() -> Self {
+        Oracle {
+            inner: None,
+            last_at: SimTime::ZERO,
+            links: Vec::new(),
+            capable_keys: FxHashMap::default(),
+            violations: Vec::new(),
+            suppressed: 0,
+            events_seen: 0,
+        }
+    }
+
+    /// An oracle wrapping an existing sink: events are checked, then
+    /// forwarded to `inner` unchanged.
+    pub fn wrapping(inner: Box<dyn TraceSink>) -> Box<Oracle> {
+        let mut o = Oracle::new();
+        o.inner = Some(inner);
+        Box::new(o)
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Remove and return the wrapped inner sink, if any.
+    pub fn take_inner(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.inner.take()
+    }
+
+    /// Drain the recorded violations (leaves the oracle installed-safe).
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Run the end-of-run checks: per-link conservation must close to
+    /// equality when the run ended with a drained queue ([`StopReason::Idle`];
+    /// other stop reasons legitimately leave packets in flight).
+    pub fn finish(&mut self, summary: &RunSummary) {
+        if summary.reason != StopReason::Idle {
+            return;
+        }
+        let at = summary.ended_at;
+        for i in 0..self.links.len() {
+            let l = self.links[i];
+            if l.enqueued != l.tx_started || l.tx_started != l.delivered + l.dropped_after_tx {
+                let detail = format!(
+                    "link {i}: enqueued={} tx_started={} delivered={} dropped_after_tx={} \
+                     after an idle (drained) end of run",
+                    l.enqueued, l.tx_started, l.delivered, l.dropped_after_tx
+                );
+                self.violate(at, "link-conservation", detail);
+            }
+        }
+    }
+
+    fn violate(&mut self, at: SimTime, invariant: &'static str, detail: String) {
+        if self.violations.len() >= MAX_VIOLATIONS {
+            self.suppressed += 1;
+            return;
+        }
+        self.violations.push(Violation {
+            at,
+            invariant,
+            detail,
+        });
+    }
+
+    fn link_mut(&mut self, idx: usize) -> &mut LinkFlow {
+        if self.links.len() <= idx {
+            self.links.resize(idx + 1, LinkFlow::default());
+        }
+        &mut self.links[idx]
+    }
+
+    /// Structural checks on an outgoing TCP packet's wire bytes.
+    /// Allocation-free on the (overwhelmingly common) clean path: the
+    /// option walk hands each kind-30 body to [`Oracle::check_mptcp_opt`]
+    /// without collecting anything.
+    fn check_tcp(&mut self, at: SimTime, pkt: &Packet) {
+        const FIXED: usize = 20;
+        let b = &pkt.payload[..];
+        let parse_err = |o: &mut Oracle, e: &'static str| {
+            o.violate(
+                at,
+                "tcp-parse",
+                format!("{} -> {}: {e} (len {})", pkt.src, pkt.dst, b.len()),
+            );
+        };
+        if b.len() < FIXED {
+            return parse_err(self, "segment shorter than the fixed TCP header");
+        }
+        let data_offset = (b[12] >> 4) as usize * 4;
+        if data_offset < FIXED || data_offset > b.len() {
+            return parse_err(self, "bad data offset");
+        }
+        let seg = TcpWire {
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            syn: b[13] & 0x02 != 0,
+            ack: b[13] & 0x10 != 0,
+            payload_len: b.len() - data_offset,
+        };
+        let mut i = FIXED;
+        while i < data_offset {
+            match b[i] {
+                0 => break,
+                1 => i += 1,
+                kind => {
+                    if i + 1 >= data_offset {
+                        return parse_err(self, "truncated option TLV");
+                    }
+                    let len = b[i + 1] as usize;
+                    if len < 2 || i + len > data_offset {
+                        return parse_err(self, "bad option length");
+                    }
+                    if kind == crate::dynamics::OPT_KIND_MPTCP {
+                        self.check_mptcp_opt(at, pkt, &seg, &b[i + 2..i + len]);
+                    }
+                    i += len;
+                }
+            }
+        }
+    }
+
+    /// Check one kind-30 option body against `seg`'s context.
+    fn check_mptcp_opt(&mut self, at: SimTime, pkt: &Packet, seg: &TcpWire, body: &[u8]) {
+        match parse_mptcp(body) {
+            Err(e) => self.violate(
+                at,
+                "mptcp-parse",
+                format!("{} -> {}: {e}", pkt.src, pkt.dst),
+            ),
+            Ok(MpWire::Capable { key }) => {
+                // Key uniqueness is only meaningfully asserted on the
+                // initial SYN (retransmits repeat the key on the same flow).
+                if seg.syn && !seg.ack {
+                    let fk = (pkt.src.0, pkt.dst.0, seg.src_port, seg.dst_port);
+                    match self.capable_keys.get(&key) {
+                        Some(prev) if *prev != fk => {
+                            let detail = format!(
+                                "MP_CAPABLE key {key:016x} reused by flow {} -> {} \
+                                 (first seen on another flow): token collision across \
+                                 connections",
+                                pkt.src, pkt.dst
+                            );
+                            self.violate(at, "token-uniqueness", detail);
+                        }
+                        Some(_) => {}
+                        None => {
+                            self.capable_keys.insert(key, fk);
+                        }
+                    }
+                }
+            }
+            Ok(MpWire::Dss { map_len: Some(len) }) => {
+                if len != 0 && len as usize != seg.payload_len {
+                    self.violate(
+                        at,
+                        "dss-mapping",
+                        format!(
+                            "{} -> {}: DSS mapping len {} != payload len {}",
+                            pkt.src, pkt.dst, len, seg.payload_len
+                        ),
+                    );
+                }
+            }
+            Ok(_) => {}
+        }
+    }
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for Oracle {
+    fn record(&mut self, ev: &TraceEvent<'_>) {
+        self.events_seen += 1;
+        if ev.at < self.last_at {
+            let detail = format!(
+                "trace time went backwards: {} after {}",
+                ev.at, self.last_at
+            );
+            self.violate(ev.at, "time-monotonicity", detail);
+        } else {
+            self.last_at = ev.at;
+        }
+        match ev.kind {
+            TraceKind::Send { .. } => {
+                if ev.pkt.proto == PROTO_TCP {
+                    self.check_tcp(ev.at, ev.pkt);
+                }
+            }
+            TraceKind::Enqueue { link, .. } => {
+                self.link_mut(link.0).enqueued += 1;
+            }
+            TraceKind::TxStart { link, .. } => {
+                let l = self.link_mut(link.0);
+                l.tx_started += 1;
+                if l.tx_started > l.enqueued {
+                    let (tx, enq) = (l.tx_started, l.enqueued);
+                    self.violate(
+                        ev.at,
+                        "link-conservation",
+                        format!("link {}: tx_started {tx} > enqueued {enq}", link.0),
+                    );
+                }
+            }
+            TraceKind::Deliver { link, .. } => {
+                let l = self.link_mut(link.0);
+                l.delivered += 1;
+                if l.delivered + l.dropped_after_tx > l.tx_started {
+                    let (d, dr, tx) = (l.delivered, l.dropped_after_tx, l.tx_started);
+                    self.violate(
+                        ev.at,
+                        "link-conservation",
+                        format!(
+                            "link {}: delivered {d} + dropped {dr} > tx_started {tx}",
+                            link.0
+                        ),
+                    );
+                }
+            }
+            TraceKind::Drop { link, reason } => {
+                // QueueFull happens before admission, IfaceDown/NoRoute at
+                // the sending host before any link — only drops after
+                // serialization started consume a transmission.
+                if let Some(link) = link {
+                    if matches!(reason, DropReason::Random | DropReason::IfaceDown) {
+                        let l = self.link_mut(link.0);
+                        l.dropped_after_tx += 1;
+                        if l.delivered + l.dropped_after_tx > l.tx_started {
+                            let (d, dr, tx) = (l.delivered, l.dropped_after_tx, l.tx_started);
+                            self.violate(
+                                ev.at,
+                                "link-conservation",
+                                format!(
+                                    "link {}: delivered {d} + dropped {dr} > tx_started {tx}",
+                                    link.0
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(inner) = self.inner.as_mut() {
+            inner.record(ev);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal wire parsing (hand-rolled; `smapp-tcp` sits *above* this crate,
+// so like the middlebox rewriter in `dynamics`, the oracle reads raw
+// bytes).
+// ---------------------------------------------------------------------
+
+/// What the oracle extracts from one MPTCP (kind-30) option.
+enum MpWire {
+    /// `MP_CAPABLE` carrying the sender's key (SYN / SYN-ACK form).
+    Capable { key: u64 },
+    /// DSS with the mapping length when a mapping is present.
+    Dss { map_len: Option<u16> },
+    /// Any other valid subtype.
+    Other,
+}
+
+/// Context of the segment an option was found in.
+struct TcpWire {
+    src_port: u16,
+    dst_port: u16,
+    syn: bool,
+    ack: bool,
+    payload_len: usize,
+}
+
+/// Parse one kind-30 option body far enough for the oracle's checks.
+fn parse_mptcp(p: &[u8]) -> Result<MpWire, &'static str> {
+    if p.is_empty() {
+        return Err("empty MPTCP option");
+    }
+    match p[0] >> 4 {
+        // MP_CAPABLE: 10 (one key) or 18 (both keys) bytes.
+        0x0 => match p.len() {
+            10 | 18 => Ok(MpWire::Capable {
+                key: u64::from_be_bytes(p[2..10].try_into().expect("length checked")),
+            }),
+            _ => Err("bad MP_CAPABLE length"),
+        },
+        // MP_JOIN: SYN (10), SYN/ACK (14), third ACK (22).
+        0x1 => match p.len() {
+            10 | 14 | 22 => Ok(MpWire::Other),
+            _ => Err("bad MP_JOIN length"),
+        },
+        // DSS: flags select 4/8-byte ack and mapping presence.
+        0x2 => {
+            if p.len() < 2 {
+                return Err("truncated DSS");
+            }
+            let flags = p[1];
+            let mut i = 2usize;
+            if flags & 0x01 != 0 {
+                i += if flags & 0x02 != 0 { 8 } else { 4 };
+            }
+            let mut map_len = None;
+            if flags & 0x04 != 0 {
+                i += if flags & 0x08 != 0 { 8 } else { 4 }; // DSN
+                i += 4; // SSN
+                if p.len() < i + 2 {
+                    return Err("truncated DSS mapping");
+                }
+                map_len = Some(u16::from_be_bytes([p[i], p[i + 1]]));
+                i += 2;
+            }
+            if p.len() < i {
+                return Err("truncated DSS");
+            }
+            Ok(MpWire::Dss { map_len })
+        }
+        // ADD_ADDR, REMOVE_ADDR, MP_PRIO, MP_FAIL, MP_FASTCLOSE.
+        0x3..=0x7 => Ok(MpWire::Other),
+        _ => Err("unknown MPTCP subtype"),
+    }
+}
+
+/// Outcome of [`conclude`]: the wire-level violations plus whatever inner
+/// sink the oracle wrapped (handed back so scenarios can read their own
+/// collected data).
+pub struct OracleOutcome {
+    /// Violations, in event order.
+    pub violations: Vec<Violation>,
+    /// The wrapped sink (or the raw sink when no oracle was installed).
+    pub inner: Option<Box<dyn TraceSink>>,
+    /// Whether an oracle was actually installed and checked.
+    pub checked: bool,
+    /// Violations beyond the storage cap.
+    pub suppressed: u64,
+}
+
+/// Take the trace sink out of `core`, run the oracle's end-of-run checks,
+/// and return the outcome. A non-oracle sink is handed back untouched with
+/// `checked == false`.
+pub fn conclude(core: &mut crate::world::SimCore, summary: &RunSummary) -> OracleOutcome {
+    let mut out = OracleOutcome {
+        violations: Vec::new(),
+        inner: None,
+        checked: false,
+        suppressed: 0,
+    };
+    let Some(mut sink) = core.take_trace() else {
+        return out;
+    };
+    match sink.as_any_mut().downcast_mut::<Oracle>() {
+        Some(o) => {
+            o.finish(summary);
+            out.violations = o.take_violations();
+            out.suppressed = o.suppressed;
+            out.inner = o.take_inner();
+            out.checked = true;
+        }
+        None => out.inner = Some(sink),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::link::{Dir, LinkId};
+    use crate::node::{IfaceId, NodeId};
+    use bytes::Bytes;
+
+    fn ev(at_ms: u64, kind: TraceKind, pkt: &Packet) -> TraceEvent<'_> {
+        TraceEvent {
+            at: SimTime::from_millis(at_ms),
+            kind,
+            pkt,
+        }
+    }
+
+    fn tcp_pkt(payload: Vec<u8>) -> Packet {
+        Packet::tcp(
+            Addr::new(10, 0, 0, 1),
+            Addr::new(10, 0, 0, 2),
+            Bytes::from(payload),
+        )
+    }
+
+    /// A minimal valid TCP header with the given flags and options.
+    fn raw_tcp(flags: u8, options: &[u8], payload: &[u8]) -> Vec<u8> {
+        assert_eq!(options.len() % 4, 0);
+        let mut b = vec![0u8; 20];
+        b[0..2].copy_from_slice(&40_000u16.to_be_bytes());
+        b[2..4].copy_from_slice(&80u16.to_be_bytes());
+        b[12] = (((20 + options.len()) / 4) as u8) << 4;
+        b[13] = flags;
+        b.extend_from_slice(options);
+        b.extend_from_slice(payload);
+        b
+    }
+
+    #[test]
+    fn clean_link_lifecycle_is_clean() {
+        let mut o = Oracle::new();
+        let p = tcp_pkt(raw_tcp(0x10, &[], b"hi"));
+        let link = LinkId(0);
+        o.record(&ev(
+            1,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p,
+        ));
+        o.record(&ev(
+            1,
+            TraceKind::Enqueue {
+                link,
+                dir: Dir::AtoB,
+            },
+            &p,
+        ));
+        o.record(&ev(
+            1,
+            TraceKind::TxStart {
+                link,
+                dir: Dir::AtoB,
+            },
+            &p,
+        ));
+        o.record(&ev(
+            2,
+            TraceKind::Deliver {
+                link,
+                iface: IfaceId(1),
+                node: NodeId(1),
+            },
+            &p,
+        ));
+        o.finish(&RunSummary {
+            reason: StopReason::Idle,
+            ended_at: SimTime::from_millis(2),
+            events: 4,
+            peak_queue: 1,
+        });
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn delivery_without_transmission_is_flagged() {
+        let mut o = Oracle::new();
+        let p = tcp_pkt(raw_tcp(0x10, &[], b""));
+        let link = LinkId(3);
+        o.record(&ev(
+            1,
+            TraceKind::Deliver {
+                link,
+                iface: IfaceId(1),
+                node: NodeId(1),
+            },
+            &p,
+        ));
+        assert_eq!(o.violations()[0].invariant, "link-conservation");
+    }
+
+    #[test]
+    fn idle_end_with_leftover_packets_is_flagged() {
+        let mut o = Oracle::new();
+        let p = tcp_pkt(raw_tcp(0x10, &[], b""));
+        let link = LinkId(0);
+        o.record(&ev(
+            1,
+            TraceKind::Enqueue {
+                link,
+                dir: Dir::AtoB,
+            },
+            &p,
+        ));
+        o.finish(&RunSummary {
+            reason: StopReason::Idle,
+            ended_at: SimTime::from_millis(5),
+            events: 1,
+            peak_queue: 1,
+        });
+        assert!(!o.is_clean());
+        // A horizon stop with the same counters is fine (packet in flight).
+        let mut o2 = Oracle::new();
+        o2.record(&ev(
+            1,
+            TraceKind::Enqueue {
+                link,
+                dir: Dir::AtoB,
+            },
+            &p,
+        ));
+        o2.finish(&RunSummary {
+            reason: StopReason::Horizon,
+            ended_at: SimTime::from_millis(5),
+            events: 1,
+            peak_queue: 1,
+        });
+        assert!(o2.is_clean());
+    }
+
+    #[test]
+    fn time_regression_is_flagged() {
+        let mut o = Oracle::new();
+        let p = tcp_pkt(raw_tcp(0x10, &[], b""));
+        o.record(&ev(
+            5,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p,
+        ));
+        o.record(&ev(
+            3,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p,
+        ));
+        assert_eq!(o.violations()[0].invariant, "time-monotonicity");
+    }
+
+    #[test]
+    fn corrupt_tcp_on_the_wire_is_flagged() {
+        let mut o = Oracle::new();
+        let mut raw = raw_tcp(0x10, &[], b"x");
+        raw[12] = 0xF0; // data offset 60 > len
+        let p = tcp_pkt(raw);
+        o.record(&ev(
+            1,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p,
+        ));
+        assert_eq!(o.violations()[0].invariant, "tcp-parse");
+    }
+
+    #[test]
+    fn dss_mapping_must_cover_payload() {
+        // DSS with 8-byte ack + mapping claiming 5 bytes over a 2-byte
+        // payload. Body: subtype/flags + ack(8) + dsn(8) + ssn(4) + len(2).
+        let mut body = vec![0x20, 0x0F];
+        body.extend_from_slice(&[0; 8]); // data ack
+        body.extend_from_slice(&[0; 8]); // dsn
+        body.extend_from_slice(&[0; 4]); // ssn
+        body.extend_from_slice(&5u16.to_be_bytes());
+        let mut opts = vec![30, (2 + body.len()) as u8];
+        opts.extend_from_slice(&body);
+        while opts.len() % 4 != 0 {
+            opts.push(1);
+        }
+        let p = tcp_pkt(raw_tcp(0x18, &opts, b"hi"));
+        let mut o = Oracle::new();
+        o.record(&ev(
+            1,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p,
+        ));
+        assert_eq!(o.violations()[0].invariant, "dss-mapping");
+    }
+
+    #[test]
+    fn capable_key_reuse_across_flows_is_flagged() {
+        let mk = |src: Addr| {
+            // MP_CAPABLE SYN body: subtype 0, flags, key (8) = 10 bytes.
+            let mut body = vec![0x00, 0x01];
+            body.extend_from_slice(&0xDEAD_BEEF_u64.to_be_bytes());
+            let mut opts = vec![30, 12];
+            opts.extend_from_slice(&body); // 12 bytes: already 4-aligned
+            let mut p = tcp_pkt(raw_tcp(0x02, &opts, b""));
+            p.src = src;
+            p
+        };
+        let mut o = Oracle::new();
+        let p1 = mk(Addr::new(10, 0, 0, 1));
+        let p2 = mk(Addr::new(10, 0, 0, 7));
+        o.record(&ev(
+            1,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p1,
+        ));
+        // Retransmit on the same flow: fine.
+        o.record(&ev(
+            2,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p1,
+        ));
+        assert!(o.is_clean());
+        o.record(&ev(
+            3,
+            TraceKind::Send {
+                node: NodeId(2),
+                iface: IfaceId(2),
+            },
+            &p2,
+        ));
+        assert_eq!(o.violations()[0].invariant, "token-uniqueness");
+    }
+
+    #[test]
+    fn wrapping_forwards_to_inner() {
+        let inner = crate::trace::CollectorSink::with_cap(0);
+        let mut o = Oracle::wrapping(Box::new(inner));
+        let p = tcp_pkt(raw_tcp(0x10, &[], b""));
+        o.record(&ev(
+            1,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &p,
+        ));
+        let inner = o.take_inner().unwrap();
+        let c = inner
+            .as_any()
+            .downcast_ref::<crate::trace::CollectorSink>()
+            .unwrap();
+        assert_eq!(c.events.len(), 1);
+    }
+}

@@ -617,6 +617,17 @@ impl Simulator {
         Ok(())
     }
 
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids, in creation order (for post-run sweeps over every
+    /// node, e.g. the oracle's host-level integrity collection).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
     /// Immutable access to a node (for downcasting after a run).
     pub fn node(&self, id: NodeId) -> &dyn Node {
         self.nodes[id.0].as_ref()

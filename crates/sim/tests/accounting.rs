@@ -159,3 +159,86 @@ fn scheduled_loss_transitions_exactly() {
     let got = sim.node(b).as_any().downcast_ref::<Counter>().unwrap().0;
     assert_eq!(got, 1, "only the pre-onset packet survives");
 }
+
+/// Heavy `TimerHandle` cancel/rearm churn with *exact* expectations on
+/// event accounting and peak queue depth — the regression guard for the
+/// lazy-deletion design of cancellable timers: a cancelled entry stays in
+/// the calendar queue until its expiry instant, still counts as exactly
+/// one processed event when it pops, and never invokes the node.
+mod timer_churn {
+    use super::*;
+    use smapp_sim::{Simulator, StopReason, TimerHandle};
+    use std::time::Duration;
+
+    /// Arms `2 * half` timers at start (10 ms apart), cancels every odd
+    /// handle immediately, and on each surviving firing arms one more
+    /// timer that it instantly cancels.
+    struct Churner {
+        half: u64,
+        fired: Vec<u64>,
+        cancel_ok: u64,
+    }
+
+    impl Node for Churner {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let handles: Vec<TimerHandle> = (0..2 * self.half)
+                .map(|i| ctx.set_timer_after(Duration::from_millis((i + 1) * 10), i))
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                if i % 2 == 1 {
+                    assert!(ctx.cancel_timer(h), "live timers cancel");
+                    self.cancel_ok += 1;
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            assert_eq!(token % 2, 0, "cancelled (odd) timers never fire");
+            self.fired.push(token);
+            // Rearm-and-cancel churn between firings.
+            let h = ctx.set_timer_after(Duration::from_millis(5), 999);
+            assert!(ctx.cancel_timer(h));
+            self.cancel_ok += 1;
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cancel_rearm_churn_keeps_accounting_and_peak_depth_exact() {
+        const HALF: u64 = 100;
+        let mut sim = Simulator::new(5);
+        let n = sim.add_node(Box::new(Churner {
+            half: HALF,
+            fired: vec![],
+            cancel_ok: 0,
+        }));
+        let summary = sim.run();
+        assert_eq!(summary.reason, StopReason::Idle);
+
+        let node = sim.node(n).as_any().downcast_ref::<Churner>().unwrap();
+        // Exactly the even timers fired, in order.
+        assert_eq!(node.fired.len() as u64, HALF);
+        assert!(node.fired.windows(2).all(|w| w[0] + 2 == w[1]));
+        // Every cancel hit a live timer: 100 at start + 100 mid-run.
+        assert_eq!(node.cancel_ok, 2 * HALF);
+
+        // Event accounting is exact: 1 start + 200 original timer entries
+        // (cancelled ones still pop as one event each) + 100 cancelled
+        // rearm entries.
+        assert_eq!(summary.events, 1 + 2 * HALF + HALF);
+
+        // Peak queue depth is exact: all 200 start-armed entries are the
+        // high-water mark. Mid-run rearms never exceed it — each firing
+        // pops one entry before pushing one.
+        assert_eq!(summary.peak_queue, 2 * HALF as usize);
+
+        // No timer slot leaked.
+        assert_eq!(sim.core.live_timer_count(), 0);
+        assert_eq!(sim.core.queue_depth(), 0);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod buffer;
 pub mod cc;
+pub mod check;
 pub mod flight;
 pub mod info;
 pub mod pacing;
@@ -38,6 +39,7 @@ pub mod wire;
 
 pub use buffer::{Reassembly, SendBuffer};
 pub use cc::{lia_alpha, CongestionControl, Lia, Reno, ALPHA_SCALE};
+pub use check::StreamTap;
 pub use flight::{AckResult, Flight, SentSeg};
 pub use info::{TcpInfo, TcpStateInfo};
 pub use pacing::pacing_rate;

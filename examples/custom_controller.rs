@@ -125,7 +125,10 @@ fn main() {
     let paths: Vec<LinkCfg> = (1..=4).map(|i| LinkCfg::mbps_ms(8, 15 * i)).collect();
     let net = topo::ecmp(9, client, server, &paths);
     let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
     let summary = sim.run_until(SimTime::from_secs(300));
+    smapp_pm::verify::conclude(&mut sim, &summary, "custom_controller", 9).expect_clean();
+    println!("protocol-invariant oracle: clean");
 
     println!("custom latency-ceiling controller over a 4-path fabric");
     println!("completed at t = {}", summary.ended_at);

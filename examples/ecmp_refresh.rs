@@ -49,7 +49,10 @@ fn main() {
     let paths: Vec<LinkCfg> = (1..=4).map(|i| LinkCfg::mbps_ms(8, 10 * i)).collect();
     let net = topo::ecmp(123, client, server, &paths);
     let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
     let summary = sim.run_until(SimTime::from_secs(300));
+    smapp_pm::verify::conclude(&mut sim, &summary, "ecmp_refresh", 123).expect_clean();
+    println!("protocol-invariant oracle: clean");
 
     println!("40 MB over 4x8 Mb/s ECMP paths with 5 subflows");
     println!("completed at t = {}", summary.ended_at);

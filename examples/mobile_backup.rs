@@ -59,6 +59,7 @@ fn main() {
         LinkCfg::mbps_ms(5, 40), // cellular: more delay
     );
     let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
 
     // The mobility story, as a deterministic dynamics script: the user
     // walks away from the access point at t = 1 s, and the radio loses
@@ -84,6 +85,8 @@ fn main() {
     println!("scripted: WiFi degrades to 30% loss at t=1s, dies at t=8s");
 
     let summary = sim.run_until(SimTime::from_secs(120));
+    smapp_pm::verify::conclude(&mut sim, &summary, "mobile_backup", 7).expect_clean();
+    println!("protocol-invariant oracle: clean");
 
     let phone = topo::host(&sim, net.client);
     let ctrl = controller_of::<BackupController>(phone).unwrap();

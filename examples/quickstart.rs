@@ -49,7 +49,12 @@ fn main() {
         LinkCfg::mbps_ms(10, 30),
     );
     let mut sim = net.sim;
+    // The protocol-invariant oracle rides along on every run: wire-level
+    // conservation/parseability plus end-host stream integrity.
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
     let summary = sim.run_until(SimTime::from_secs(60));
+    smapp_pm::verify::conclude(&mut sim, &summary, "quickstart", 42).expect_clean();
+    println!("protocol-invariant oracle: clean");
 
     // Inspect the result.
     let client = topo::host(&sim, net.client);
