@@ -20,6 +20,10 @@
 //! * The generated-scenario fuzz corpus must have run with **zero**
 //!   protocol-invariant oracle violations; a missing fuzz section fails
 //!   the gate too (the corpus cannot silently stop running).
+//! * The corpus slice's union feature coverage (`coverage_bits`) must
+//!   **strictly exceed** the recorded dynamics-only baseline
+//!   (`baseline_coverage_bits`) — the adversarial middleboxes and the
+//!   traffic mix cannot silently stop contributing behavior.
 //!
 //! The parser is deliberately tiny and hand-rolled (the workspace carries
 //! no serde): it only reads the flat `"key": value` shapes `perf_report`
@@ -50,6 +54,10 @@ pub struct GateReport {
     pub scenario_names: Vec<String>,
     /// The report's fuzz-corpus oracle-violation count (`None` = missing).
     pub fuzz_violations: Option<u64>,
+    /// The corpus slice's union feature-coverage bits (`None` = missing).
+    pub fuzz_coverage_bits: Option<u64>,
+    /// The dynamics-only coverage floor recorded alongside it.
+    pub fuzz_baseline_bits: Option<u64>,
     /// Aggregate events/sec over all scenario rows.
     pub events_per_sec: f64,
     /// Human-readable failed invariants; empty = gate passes.
@@ -170,6 +178,30 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
         );
     }
 
+    // Corpus feature coverage must strictly beat the dynamics-only
+    // derivation over the same seeds: a corpus that stops reaching the
+    // adversarial-middlebox / traffic-mix feature space regressed even if
+    // it stays oracle-clean.
+    let fuzz_coverage_bits = raw_value(json, "coverage_bits").and_then(|v| v.parse::<u64>().ok());
+    let fuzz_baseline_bits =
+        raw_value(json, "baseline_coverage_bits").and_then(|v| v.parse::<u64>().ok());
+    match (fuzz_coverage_bits, fuzz_baseline_bits) {
+        (Some(cov), Some(base)) => {
+            if cov <= base {
+                failures.push(format!(
+                    "fuzz corpus coverage is {cov} feature bits, not above the \
+                     dynamics-only baseline of {base} — the corpus no longer \
+                     exercises the extended feature space"
+                ));
+            }
+        }
+        _ => failures.push(
+            "report carries no fuzz coverage_bits/baseline_coverage_bits — \
+             the corpus coverage floor was not measured"
+                .to_string(),
+        ),
+    }
+
     let floor = SMOKE_BASELINE_EVENTS_PER_SEC * min_ratio;
     if events_per_sec < floor {
         failures.push(format!(
@@ -184,6 +216,8 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
         fig2c_parity,
         scenario_names,
         fuzz_violations,
+        fuzz_coverage_bits,
+        fuzz_baseline_bits,
         events_per_sec,
         failures,
     }
@@ -211,7 +245,10 @@ mod tests {
             ));
         }
         s.push_str("  ],\n");
-        s.push_str("  \"fuzz\": {\"cases\": 4, \"violations\": 0},\n");
+        s.push_str(
+            "  \"fuzz\": {\"cases\": 4, \"violations\": 0, \"coverage_bits\": 54, \
+             \"baseline_coverage_bits\": 40},\n",
+        );
         s.push_str(&format!("  \"fig2c_trajectory_parity\": {fig2c}\n"));
         s.push_str("}\n");
         s
@@ -272,11 +309,43 @@ mod tests {
         assert_eq!(r.fuzz_violations, Some(3));
         assert!(r.failures.iter().any(|f| f.contains("oracle violation")));
 
-        let gone = sample("true", "null", 10_000_000)
-            .replace("  \"fuzz\": {\"cases\": 4, \"violations\": 0},\n", "");
+        let sample_fuzz_line = sample("true", "null", 10_000_000)
+            .lines()
+            .find(|l| l.contains("\"fuzz\":"))
+            .expect("sample carries a fuzz line")
+            .to_string();
+        let gone = sample("true", "null", 10_000_000).replace(&format!("{sample_fuzz_line}\n"), "");
         let r = check(&gone, DEFAULT_MIN_RATIO);
         assert_eq!(r.fuzz_violations, None);
         assert!(r.failures.iter().any(|f| f.contains("corpus did not run")));
+    }
+
+    #[test]
+    fn coverage_not_above_baseline_fails() {
+        let flat = sample("true", "null", 10_000_000)
+            .replace("\"coverage_bits\": 54", "\"coverage_bits\": 40");
+        let r = check(&flat, DEFAULT_MIN_RATIO);
+        assert_eq!(r.fuzz_coverage_bits, Some(40));
+        assert_eq!(r.fuzz_baseline_bits, Some(40));
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("dynamics-only baseline")));
+    }
+
+    #[test]
+    fn missing_coverage_fields_fail() {
+        let gone = sample("true", "null", 10_000_000).replace(
+            ", \"coverage_bits\": 54, \
+             \"baseline_coverage_bits\": 40",
+            "",
+        );
+        let r = check(&gone, DEFAULT_MIN_RATIO);
+        assert_eq!(r.fuzz_coverage_bits, None);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("coverage floor was not measured")));
     }
 
     #[test]

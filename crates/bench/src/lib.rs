@@ -19,15 +19,21 @@
 //! [`scenarios::flap`] (a periodically failing ECMP bottleneck routed
 //! around by the refresh controller) and [`scenarios::middlebox`] (an
 //! MPTCP-option-stripping hop forcing graceful plain-TCP fallback) —
-//! plus the many-client [`scenarios::fleet`] workload.
+//! plus the many-client [`scenarios::fleet`] workload and the
+//! heavy-tailed [`scenarios::cdn`] traffic mix (bounded-Pareto sizes,
+//! wavy-Poisson arrivals; [`traffic`]).
 //!
 //! Every run executes under the protocol-invariant oracle
 //! (`smapp_sim::Oracle` + the `smapp-mptcp` end-host taps, concluded by
 //! `smapp_pm::verify`), and the [`fuzz`] module turns that oracle into a
 //! specification to fuzz against: seed-derived topologies, dynamics
-//! scripts and controller mixes, with failing cases shrunk to a minimal
-//! dynamics subset and reported as replayable `(scenario, seed, time)`
-//! triples (`fuzz` binary; fixed corpus in `FUZZ_CORPUS.txt`).
+//! scripts, adversarial middleboxes (NAT seq rewriting, segment
+//! split/coalesce, ACK thinning, SYN/`MP_JOIN` floods), traffic mixes
+//! and controller mixes, **coverage-guided mutation** over a 256-bit
+//! feature bitmap (`fuzz --mutate`, the CI fuzz-mutate job), and
+//! failing cases shrunk to a minimal dynamics subset and reported as
+//! replayable seeds or full case literals (`fuzz` binary; fixed corpus
+//! in `FUZZ_CORPUS.txt`).
 //!
 //! The `perf_report` binary ([`perf`]) drives the full scenario×seed
 //! matrix — every paper artifact above plus the beyond-paper workloads —
@@ -52,5 +58,6 @@ pub mod scenarios;
 pub mod stats;
 pub mod sweep;
 pub mod trace;
+pub mod traffic;
 
 pub use stats::Cdf;

@@ -20,7 +20,9 @@
 
 use std::time::Instant;
 
-use crate::scenarios::{fig2a, fig2b, fig2c, fig3, flap, fleet, fuzz, handover, middlebox, sec42};
+use crate::scenarios::{
+    cdn, fig2a, fig2b, fig2c, fig3, flap, fleet, fuzz, handover, middlebox, sec42,
+};
 use crate::sweep::{digest_f64s, fnv1a, parity, Matrix, MatrixEntry, ScenarioRun, SweepResult};
 
 /// fig2c seeds measured into the baseline.
@@ -74,10 +76,11 @@ fn digest_rows(rows: &[(f64, u64, usize)]) -> u64 {
 
 /// The declarative scenario×seed matrix covering the whole paper surface
 /// (fig2a, fig2b, fig2c, fig3, §4.2) plus the beyond-paper workloads:
-/// the many-client fleet and the scripted network-dynamics trio
-/// (handover, flap, middlebox). `smoke` shrinks workloads to CI-liveness
-/// sizes. Every scenario registered in [`crate::scenarios::ALL`] must
-/// appear here — enforced by the scenario-coverage guard test.
+/// the many-client fleet, the scripted network-dynamics trio
+/// (handover, flap, middlebox) and the heavy-tailed cdn traffic mix.
+/// `smoke` shrinks workloads to CI-liveness sizes. Every scenario
+/// registered in [`crate::scenarios::ALL`] must appear here — enforced by
+/// the scenario-coverage guard test.
 pub fn paper_matrix(smoke: bool) -> Matrix {
     let mut entries = Vec::new();
 
@@ -378,6 +381,37 @@ pub fn paper_matrix(smoke: bool) -> Matrix {
         .workload(workload),
     );
 
+    // cdn — the heavy-tailed, wavy-arrival traffic mix over two paths.
+    let pc = cdn::Params {
+        max_flows: if smoke { 14 } else { 40 },
+        model: crate::traffic::TrafficModel {
+            size_max: if smoke { 150_000 } else { 600_000 },
+            ..crate::traffic::TrafficModel::cdn()
+        },
+        window: smapp_sim::SimTime::from_secs(if smoke { 8 } else { 15 }),
+        ..Default::default()
+    };
+    let seeds = if smoke { vec![47] } else { vec![47, 48] };
+    let workload = format!(
+        "<= {} Pareto-sized GET/stream flows over a {} s wavy-Poisson window",
+        pc.max_flows,
+        pc.window.as_secs_f64()
+    );
+    entries.push(
+        MatrixEntry::new("cdn", "traffic", seeds, move |seed| {
+            let p = cdn::Params { seed, ..pc.clone() };
+            let (summary, r) = cdn::run_instrumented(&p);
+            ScenarioRun {
+                summary,
+                trajectory: format!(
+                    "flows={} streams={} offered={} delivered={} drained={:?}",
+                    r.flows, r.streams, r.offered, r.delivered, r.drained_at
+                ),
+            }
+        })
+        .workload(workload),
+    );
+
     // fuzz — generated scenarios from the committed fixed-seed corpus,
     // protocol-invariant oracle enabled. A `viol=` count other than zero in
     // any trajectory fails the CI gate (and the full corpus runs in the
@@ -392,9 +426,10 @@ pub fn paper_matrix(smoke: bool) -> Matrix {
             ScenarioRun {
                 summary,
                 trajectory: format!(
-                    "viol={} delivered={} {}",
+                    "viol={} delivered={} cov_bits={} {}",
                     out.violations.len(),
                     out.delivered,
+                    out.coverage.count(),
                     out.desc
                 ),
             }
@@ -472,6 +507,12 @@ pub struct PerfReport {
     pub fuzz_cases: usize,
     /// Total oracle violations across those cases (0 on a healthy build).
     pub fuzz_violations: u64,
+    /// Union feature-coverage bits over the matrix's corpus slice under
+    /// the full case derivation (adversarial middleboxes + traffic mix).
+    pub fuzz_coverage_bits: u32,
+    /// The same union under the frozen PR-5 derivation (dynamics only) —
+    /// the floor the current corpus must strictly beat.
+    pub fuzz_baseline_bits: u32,
     /// fig2c single-thread speedup over [`FIG2C_BASELINE`] (full mode only).
     pub fig2c_speedup: Option<f64>,
     /// fig2c single-thread events/sec relative to the PR-2 figure
@@ -600,6 +641,19 @@ pub fn run_all(smoke: bool, jobs: usize) -> PerfReport {
         .map(|r| fuzz_violations_in(&r.run.trajectory))
         .fold(0u64, u64::saturating_add);
 
+    // Corpus feature coverage vs the frozen PR-5 derivation over the same
+    // seeds: the current derivation (middlebox rewriters, floods, traffic
+    // mix) must strictly widen the explored feature space.
+    let fuzz_seeds: Vec<u64> = fuzz_rows.iter().map(|r| r.seed).collect();
+    let mut cov = smapp_sim::Coverage::new();
+    let mut base_cov = smapp_sim::Coverage::new();
+    let opts = crate::fuzz::FuzzOptions::default();
+    for &seed in &fuzz_seeds {
+        cov.union(&crate::fuzz::run_case(seed).coverage);
+        let v1 = crate::fuzz::FuzzCase::derive_v1(seed);
+        base_cov.union(&crate::fuzz::run_case_opts(&v1, &opts).coverage);
+    }
+
     PerfReport {
         smoke,
         jobs,
@@ -613,6 +667,8 @@ pub fn run_all(smoke: bool, jobs: usize) -> PerfReport {
         fleet_peak_queue,
         fuzz_cases,
         fuzz_violations,
+        fuzz_coverage_bits: cov.count(),
+        fuzz_baseline_bits: base_cov.count(),
         fig2c_speedup,
         fig2c_vs_pr2,
         fig2c_parity,
@@ -674,8 +730,9 @@ impl PerfReport {
             self.fleet_peak_queue
         ));
         s.push_str(&format!(
-            "  \"fuzz\": {{\"cases\": {}, \"violations\": {}}},\n",
-            self.fuzz_cases, self.fuzz_violations
+            "  \"fuzz\": {{\"cases\": {}, \"violations\": {}, \"coverage_bits\": {}, \
+             \"baseline_coverage_bits\": {}}},\n",
+            self.fuzz_cases, self.fuzz_violations, self.fuzz_coverage_bits, self.fuzz_baseline_bits
         ));
         match self.fig2c_speedup {
             Some(x) => s.push_str(&format!("  \"fig2c_speedup_vs_baseline\": {x:.3},\n")),
@@ -732,8 +789,9 @@ impl PerfReport {
             ));
         }
         s.push_str(&format!(
-            "fuzz: {} generated cases, {} oracle violation(s)\n",
-            self.fuzz_cases, self.fuzz_violations
+            "fuzz: {} generated cases, {} oracle violation(s), \
+             {} feature bits (dynamics-only baseline {})\n",
+            self.fuzz_cases, self.fuzz_violations, self.fuzz_coverage_bits, self.fuzz_baseline_bits
         ));
         if let Some(x) = self.fig2c_speedup {
             s.push_str(&format!(
@@ -783,6 +841,7 @@ mod tests {
             "handover/backup",
             "flap/refresh",
             "middlebox/strip",
+            "cdn/traffic",
             "fuzz/corpus",
         ] {
             assert!(
@@ -792,11 +851,22 @@ mod tests {
         }
         assert_eq!(r.fuzz_cases, 4, "smoke matrix runs 4 fuzz cases");
         assert_eq!(r.fuzz_violations, 0, "fuzz corpus oracle-clean");
+        assert!(
+            r.fuzz_coverage_bits > r.fuzz_baseline_bits,
+            "full derivation ({} bits) must strictly beat the dynamics-only \
+             baseline ({} bits)",
+            r.fuzz_coverage_bits,
+            r.fuzz_baseline_bits
+        );
         let json = r.to_json();
         assert!(json.contains("\"fig2c_trajectory_parity\": null"));
         assert!(json.contains("\"parallel_parity\": true"));
         assert!(json.contains("\"name\": \"fleet/mixed\""));
-        assert!(json.contains("\"fuzz\": {\"cases\": 4, \"violations\": 0}"));
+        assert!(json.contains(&format!(
+            "\"fuzz\": {{\"cases\": 4, \"violations\": 0, \"coverage_bits\": {}, \
+             \"baseline_coverage_bits\": {}}}",
+            r.fuzz_coverage_bits, r.fuzz_baseline_bits
+        )));
         // Crude structural check: braces balance.
         assert_eq!(
             json.matches('{').count(),

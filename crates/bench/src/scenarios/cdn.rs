@@ -1,0 +1,207 @@
+//! CDN — a heavy-tailed, wavy-arrival traffic mix over a multipath edge.
+//!
+//! The paper's workloads are clean-room shapes (one bulk transfer, chained
+//! GETs, a fixed-rate stream). This scenario runs the messier workload a
+//! CDN edge actually serves, drawn from [`crate::traffic::TrafficModel`]:
+//! flow sizes follow a bounded Pareto (mice dominate counts, elephants
+//! dominate bytes), arrivals form a Poisson process modulated by a
+//! sinusoidal "diurnal" wave, and the application mix splits short
+//! GET-style transfers from paced streaming flows — all bit-deterministic
+//! per seed.
+//!
+//! A dual-homed client plays the user population, opening every sampled
+//! flow to one server over the two-path topology with a full-mesh path
+//! manager, so short flows and streams share (and compete for) both
+//! subflow pools. The run executes under the protocol-invariant oracle
+//! like every other scenario.
+
+use std::time::Duration;
+
+use smapp_mptcp::apps::{BulkSender, Sink, StreamSender};
+use smapp_mptcp::{App, StackConfig};
+use smapp_pm::topo::{self, CLIENT_ADDR1, SERVER_ADDR};
+use smapp_pm::{FullMeshPm, Host};
+use smapp_sim::{LinkCfg, SimRng, SimTime};
+
+use crate::traffic::{FlowClass, TrafficModel};
+
+/// Parameters of one CDN-traffic run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// RNG seed (world and traffic sample).
+    pub seed: u64,
+    /// Traffic model to sample flows from.
+    pub model: TrafficModel,
+    /// Cap on sampled flows.
+    pub max_flows: usize,
+    /// Arrival window end (flows start before this).
+    pub window: SimTime,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            seed: 47,
+            model: TrafficModel::cdn(),
+            max_flows: 60,
+            window: SimTime::from_secs(20),
+            horizon: SimTime::from_secs(120),
+        }
+    }
+}
+
+/// Results of one CDN-traffic run.
+#[derive(Debug)]
+pub struct Results {
+    /// Flows the model scheduled.
+    pub flows: usize,
+    /// Of which paced streaming flows.
+    pub streams: usize,
+    /// Total bytes the model asked for.
+    pub offered: u64,
+    /// Bytes the server applications received.
+    pub delivered: u64,
+    /// Server-side connections observed (== flows when all arrived).
+    pub server_conns: usize,
+    /// When the run went idle (all flows drained), if within the horizon.
+    pub drained_at: Option<f64>,
+}
+
+/// Decorrelates the traffic sample from the world RNG.
+const TRAFFIC_SALT: u64 = 0xCD11_7AFF_1C5A_17ED;
+
+/// Run one CDN-traffic experiment.
+pub fn run(p: &Params) -> Results {
+    run_instrumented(p).1
+}
+
+/// Like [`run`], additionally returning the simulator's
+/// [`smapp_sim::RunSummary`] for the perf harness and sweep matrix.
+pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
+    let mut trng = SimRng::seed_from_u64(p.seed ^ TRAFFIC_SALT);
+    let flows = p
+        .model
+        .sample(&mut trng, SimTime::from_millis(10), p.window, p.max_flows);
+
+    let mut client =
+        Host::new("client", StackConfig::default()).with_pm(Box::new(FullMeshPm::new()));
+    let mut offered = 0u64;
+    let mut streams = 0usize;
+    for f in &flows {
+        let app: Box<dyn App> = match f.class {
+            FlowClass::ShortGet => {
+                offered += f.size;
+                Box::new(BulkSender::new(f.size).close_when_done())
+            }
+            FlowClass::Streaming => {
+                streams += 1;
+                // The stream sends whole blocks, so round the sampled
+                // size to what the app will actually write.
+                let blocks = (f.size / 16_384).clamp(1, 60);
+                offered += blocks * 16_384;
+                Box::new(StreamSender::new(16_384, Duration::from_millis(40), blocks))
+            }
+        };
+        client.connect_at(f.start, Some(CLIENT_ADDR1), SERVER_ADDR, 80, app);
+    }
+    let mut server = Host::new("server", StackConfig::default());
+    server.listen(
+        80,
+        Box::new(|| {
+            Box::new(Sink {
+                close_on_eof: true,
+                ..Default::default()
+            })
+        }),
+    );
+    let net = topo::two_path(
+        p.seed,
+        client,
+        server,
+        LinkCfg::mbps_ms(20, 10),
+        LinkCfg::mbps_ms(10, 25),
+    );
+    let mut sim = net.sim;
+    sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
+    let summary = sim.run_until(p.horizon);
+    smapp_pm::verify::conclude(&mut sim, &summary, "cdn", p.seed).expect_clean();
+
+    let server_host = topo::host(&sim, net.server);
+    let mut delivered = 0u64;
+    let mut server_conns = 0usize;
+    for c in server_host.stack.connections() {
+        server_conns += 1;
+        if let Some(s) = c.app().and_then(|a| a.as_any().downcast_ref::<Sink>()) {
+            delivered += s.received;
+        }
+    }
+    let drained_at =
+        (summary.reason == smapp_sim::StopReason::Idle).then(|| summary.ended_at.as_secs_f64());
+    (
+        summary,
+        Results {
+            flows: flows.len(),
+            streams,
+            offered,
+            delivered,
+            server_conns,
+            drained_at,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_params() -> Params {
+        Params {
+            max_flows: 14,
+            // Keep the elephant tail short so the smoke run drains fast.
+            model: TrafficModel {
+                size_max: 150_000,
+                ..TrafficModel::cdn()
+            },
+            window: SimTime::from_secs(8),
+            horizon: SimTime::from_secs(60),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cdn_mix_drains_oracle_clean_with_full_delivery() {
+        let p = smoke_params();
+        let r = run(&p);
+        assert!(r.flows >= 5, "model scheduled a real mix: {}", r.flows);
+        assert_eq!(r.server_conns, r.flows, "every flow arrived");
+        assert_eq!(r.delivered, r.offered, "every offered byte delivered");
+        assert!(r.drained_at.is_some(), "the mix drained within the horizon");
+    }
+
+    #[test]
+    fn cdn_mix_contains_both_flow_classes() {
+        let p = Params {
+            max_flows: 40,
+            ..smoke_params()
+        };
+        let r = run(&p);
+        assert!(r.streams > 0, "some flows stream");
+        assert!(r.streams < r.flows, "most flows are GETs");
+    }
+
+    #[test]
+    fn cdn_is_deterministic_per_seed() {
+        let p = smoke_params();
+        let (s1, r1) = run_instrumented(&p);
+        let (s2, r2) = run_instrumented(&p);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.delivered, r2.delivered);
+        let (s3, _) = run_instrumented(&Params {
+            seed: 48,
+            ..smoke_params()
+        });
+        assert!(s3 != s1, "different seed, different trajectory");
+    }
+}

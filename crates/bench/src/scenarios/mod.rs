@@ -1,9 +1,10 @@
 //! Experiment scenarios — one module per paper artifact, plus workloads
 //! that go beyond the paper (the many-client [`fleet`], the scripted
-//! network-dynamics trio [`handover`], [`flap`], [`middlebox`], and the
-//! generated-scenario [`fuzz`] corpus running under the protocol-invariant
-//! oracle).
+//! network-dynamics trio [`handover`], [`flap`], [`middlebox`], the
+//! heavy-tailed [`cdn`] traffic mix, and the generated-scenario [`fuzz`]
+//! corpus running under the protocol-invariant oracle).
 
+pub mod cdn;
 pub mod fig2a;
 pub mod fig2b;
 pub mod fig2c;
@@ -21,6 +22,7 @@ pub mod sec42;
 /// `perf_report --smoke` matrix — a new scenario cannot be added without
 /// being benchmarked.
 pub const ALL: &[&str] = &[
+    "cdn",
     "fig2a",
     "fig2b",
     "fig2c",

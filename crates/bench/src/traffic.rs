@@ -1,0 +1,220 @@
+//! Seeded traffic models: heavy-tailed sizes, wavy arrivals, mixed apps.
+//!
+//! The paper's workloads (bulk transfers, chained GETs, fixed-rate
+//! streams) are clean-room shapes. Real CDN-ish traffic is messier along
+//! three axes this module models, all driven by one [`SimRng`] so every
+//! sample is bit-deterministic per seed:
+//!
+//! * **flow sizes** follow a bounded Pareto (heavy tail: most flows are
+//!   mice, a few elephants carry most bytes),
+//! * **flow arrivals** form a Poisson process whose rate is modulated by
+//!   a sinusoidal "diurnal" wave (busy hours, quiet hours),
+//! * **application mix** splits flows between short GET-style transfers
+//!   that close when done and paced streaming flows.
+//!
+//! Both the fuzzer (`crate::fuzz`) and the `cdn` scenario
+//! (`crate::scenarios::cdn`) draw their workloads from here.
+
+use smapp_sim::{SimRng, SimTime};
+
+/// What kind of application a sampled flow runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowClass {
+    /// A request/response transfer that closes when the bytes are sent.
+    ShortGet,
+    /// A paced streaming flow (fixed-size blocks at an interval).
+    Streaming,
+}
+
+/// One sampled flow: when it starts, how many bytes it moves, what runs it.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Arrival time of the flow (connection scheduled here).
+    pub start: SimTime,
+    /// Total application bytes.
+    pub size: u64,
+    /// Application shape.
+    pub class: FlowClass,
+}
+
+/// A seeded traffic model. Construct one (or take [`TrafficModel::cdn`]),
+/// then [`TrafficModel::sample`] flows from a caller-owned RNG.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficModel {
+    /// Pareto tail index; smaller = heavier tail. Typical web traffic
+    /// fits 1.1–1.5.
+    pub alpha: f64,
+    /// Smallest flow size in bytes (the Pareto lower bound).
+    pub size_min: u64,
+    /// Largest flow size in bytes (the bounded-Pareto upper cutoff).
+    pub size_max: u64,
+    /// Mean arrival rate in flows per second at wave midpoint.
+    pub rate_hz: f64,
+    /// Relative amplitude of the diurnal wave in `[0, 1)`: the
+    /// instantaneous rate swings between `rate_hz * (1 ± amplitude)`.
+    pub wave_amplitude: f64,
+    /// Period of the diurnal wave (compressed into simulation time).
+    pub wave_period: SimTime,
+    /// Fraction of flows that are [`FlowClass::ShortGet`] (the rest
+    /// stream).
+    pub get_fraction: f64,
+}
+
+impl TrafficModel {
+    /// The CDN-ish default: heavy tail (α = 1.2) from 2 KB mice to 2 MB
+    /// elephants, ~12 flows/s swinging ±60% over a 20 s "day", 80% GETs.
+    pub fn cdn() -> Self {
+        TrafficModel {
+            alpha: 1.2,
+            size_min: 2_000,
+            size_max: 2_000_000,
+            rate_hz: 12.0,
+            wave_amplitude: 0.6,
+            wave_period: SimTime::from_secs(20),
+            get_fraction: 0.8,
+        }
+    }
+
+    /// One bounded-Pareto flow size.
+    pub fn sample_size(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit_f64();
+        let l = self.size_min.max(1) as f64;
+        let h = self.size_max.max(self.size_min) as f64;
+        // Inverse CDF of the bounded Pareto(l, h, alpha).
+        let ratio = (l / h).powf(self.alpha);
+        let x = l / (1.0 - u * (1.0 - ratio)).powf(1.0 / self.alpha);
+        (x as u64).clamp(self.size_min, self.size_max)
+    }
+
+    /// Instantaneous arrival rate at `t` (the diurnal wave).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = (t.as_nanos() % self.wave_period.as_nanos().max(1)) as f64
+            / self.wave_period.as_nanos().max(1) as f64;
+        let wave = (phase * std::f64::consts::TAU).sin();
+        (self.rate_hz * (1.0 + self.wave_amplitude * wave)).max(self.rate_hz * 0.01)
+    }
+
+    /// Sample the arrival process over `[start, horizon)`, capped at
+    /// `max_flows` flows. Arrivals are a non-homogeneous Poisson process
+    /// realized by thinning: candidate gaps are exponential at the peak
+    /// rate, and each candidate survives with probability
+    /// `rate_at(t) / peak`.
+    pub fn sample(
+        &self,
+        rng: &mut SimRng,
+        start: SimTime,
+        horizon: SimTime,
+        max_flows: usize,
+    ) -> Vec<FlowSpec> {
+        let peak = self.rate_hz * (1.0 + self.wave_amplitude);
+        let mut flows = Vec::new();
+        let mut t_ns = start.as_nanos() as f64;
+        let end_ns = horizon.as_nanos() as f64;
+        while flows.len() < max_flows {
+            // Exponential gap at the peak rate (inverse-CDF sampling).
+            let u = rng.unit_f64().max(f64::MIN_POSITIVE);
+            t_ns += -u.ln() / peak * 1e9;
+            if t_ns >= end_ns {
+                break;
+            }
+            let t = SimTime::from_nanos(t_ns as u64);
+            if !rng.chance(self.rate_at(t) / peak) {
+                continue; // thinned: the wave is in a trough
+            }
+            let class = if rng.chance(self.get_fraction) {
+                FlowClass::ShortGet
+            } else {
+                FlowClass::Streaming
+            };
+            flows.push(FlowSpec {
+                start: t,
+                size: self.sample_size(rng),
+                class,
+            });
+        }
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = TrafficModel::cdn();
+        let sample = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            m.sample(
+                &mut rng,
+                SimTime::from_millis(5),
+                SimTime::from_secs(30),
+                200,
+            )
+        };
+        let a = sample(42);
+        let b = sample(42);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.start == y.start && x.size == y.size && x.class == y.class));
+        let c = sample(43);
+        assert!(
+            a.len() != c.len()
+                || a.iter()
+                    .zip(c.iter())
+                    .any(|(x, y)| x.start != y.start || x.size != y.size),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn sizes_are_bounded_and_heavy_tailed() {
+        let m = TrafficModel::cdn();
+        let mut rng = SimRng::seed_from_u64(7);
+        let sizes: Vec<u64> = (0..4000).map(|_| m.sample_size(&mut rng)).collect();
+        assert!(sizes.iter().all(|s| (2_000..=2_000_000).contains(s)));
+        let mice = sizes.iter().filter(|s| **s < 10_000).count();
+        let elephants = sizes.iter().filter(|s| **s > 500_000).count();
+        assert!(mice > sizes.len() / 2, "most flows are mice: {mice}");
+        assert!(elephants > 0, "the tail reaches elephants");
+    }
+
+    #[test]
+    fn arrivals_follow_the_wave_and_respect_bounds() {
+        let m = TrafficModel::cdn();
+        let mut rng = SimRng::seed_from_u64(9);
+        let flows = m.sample(&mut rng, SimTime::ZERO, SimTime::from_secs(40), 10_000);
+        assert!(!flows.is_empty());
+        assert!(flows.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(flows.iter().all(|f| f.start < SimTime::from_secs(40)));
+        // Crest (around 1/4 of the period) should outdraw trough (3/4).
+        let crest = flows
+            .iter()
+            .filter(|f| f.start.as_millis() % 20_000 < 10_000)
+            .count();
+        let trough = flows.len() - crest;
+        assert!(crest > trough, "crest {crest} vs trough {trough}");
+        // The cap is a hard bound.
+        let mut rng = SimRng::seed_from_u64(9);
+        assert_eq!(
+            m.sample(&mut rng, SimTime::ZERO, SimTime::from_secs(40), 5)
+                .len(),
+            5
+        );
+    }
+
+    #[test]
+    fn class_mix_matches_get_fraction_roughly() {
+        let m = TrafficModel::cdn();
+        let mut rng = SimRng::seed_from_u64(11);
+        let flows = m.sample(&mut rng, SimTime::ZERO, SimTime::from_secs(120), 2_000);
+        let gets = flows
+            .iter()
+            .filter(|f| f.class == FlowClass::ShortGet)
+            .count();
+        let frac = gets as f64 / flows.len() as f64;
+        assert!((0.65..0.95).contains(&frac), "GET fraction {frac}");
+    }
+}

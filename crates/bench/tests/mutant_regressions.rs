@@ -1,0 +1,112 @@
+//! Regression pins for bugs found by the coverage-guided mutation engine.
+//!
+//! Mutated cases are not seed-derivable, so each failing case the engine
+//! surfaced is committed here verbatim (the `fuzz --mutate` failure report
+//! prints the full `FuzzCase` literal for exactly this purpose).
+
+use smapp_bench::fuzz::{
+    run_case_opts, FuzzAction, FuzzCase, FuzzDyn, FuzzOptions, PmMix, Rewrite, Strip, Topo,
+};
+use smapp_sim::{LinkCfg, LossModel, SimTime};
+use std::time::Duration;
+
+/// Found by a 60 s `fuzz --mutate` run (the CI fuzz-mutate job's exact
+/// configuration): with the split rewriter re-segmenting the stream,
+/// cumulative ACKs land *mid-segment*, and the partial-ACK trim in
+/// `Flight::on_cum_ack` moved the head's offset without touching the
+/// stored `SegTag` payload. The next RTO then replayed the *full original
+/// payload at the trimmed offset* — shifting the byte stream forward and
+/// writing 19 bytes past its end (receiver delivered 88170 bytes of an
+/// 88151-byte stream). Fixed in `retransmit_head`, which now skips the
+/// acked prefix of the stored payload and advances the DSS mapping to
+/// match.
+#[test]
+fn partial_ack_retransmission_never_shifts_the_stream() {
+    let case = FuzzCase {
+        seed: 11001988291751153430,
+        topo: Topo::TwoPath,
+        link_cfgs: vec![
+            LinkCfg {
+                rate_bps: 8_000_000,
+                delay: Duration::from_millis(3),
+                queue_pkts: 59,
+                loss: LossModel::None,
+            },
+            LinkCfg {
+                rate_bps: 18_000_000,
+                delay: Duration::from_millis(27),
+                queue_pkts: 67,
+                loss: LossModel::None,
+            },
+        ],
+        pm: PmMix::FullMesh,
+        transfer: 88_151,
+        strip: Strip::FromStart,
+        rewrite: Rewrite::Split,
+        flood: None,
+        traffic: None,
+        dynamics: Default::default(),
+        horizon: SimTime::from_secs(60),
+    };
+    let out = run_case_opts(&case, &FuzzOptions::default());
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+    assert!(out.delivered >= case.transfer, "full delivery");
+}
+
+/// Also found by a 60 s `fuzz --mutate` run: mid-handshake stripping plus
+/// 23 % loss. The receiver inferred plain-TCP fallback (no DSS on the
+/// first data segment), but the *sender* stayed in MPTCP mode — its RTO
+/// queued a connection-level reinjection, and the reinjected bytes went
+/// out at fresh subflow offsets the fallback receiver identity-mapped
+/// past the end of the stream (235448 bytes delivered of a 231124-byte
+/// transfer). Fixed by the sender-side §3.7 inference: a sole subflow
+/// whose data is being cumulatively acked by segments carrying no MPTCP
+/// options, from a peer that never sent a DSS, falls back too (and drops
+/// any queued reinjections).
+#[test]
+fn stripped_sender_infers_fallback_and_never_reinjects() {
+    let case = FuzzCase {
+        seed: 14840394600692395291,
+        topo: Topo::TwoPath,
+        link_cfgs: vec![
+            LinkCfg {
+                rate_bps: 5_000_000,
+                delay: Duration::from_millis(10),
+                queue_pkts: 100,
+                loss: LossModel::None,
+            },
+            LinkCfg {
+                rate_bps: 5_000_000,
+                delay: Duration::from_millis(10),
+                queue_pkts: 100,
+                loss: LossModel::None,
+            },
+        ],
+        pm: PmMix::Noop,
+        transfer: 231_124,
+        strip: Strip::MidHandshake,
+        rewrite: Rewrite::Off,
+        flood: None,
+        traffic: None,
+        dynamics: vec![
+            FuzzDyn {
+                at: SimTime::from_millis(5_298),
+                link_idx: 1,
+                action: FuzzAction::Queue(78),
+            },
+            FuzzDyn {
+                at: SimTime::from_millis(12_116),
+                link_idx: 0,
+                action: FuzzAction::FlapDown(Duration::from_millis(169)),
+            },
+            FuzzDyn {
+                at: SimTime::from_millis(394),
+                link_idx: 0,
+                action: FuzzAction::Loss(0.23),
+            },
+        ],
+        horizon: SimTime::from_secs(60),
+    };
+    let out = run_case_opts(&case, &FuzzOptions::default());
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+}

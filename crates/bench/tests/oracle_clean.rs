@@ -12,7 +12,7 @@
 //! scenario cannot register without adding an oracle-clean smoke run here.
 
 use smapp_bench::scenarios::{
-    self, fig2a, fig2b, fig2c, fig3, flap, fleet, fuzz, handover, middlebox, sec42,
+    self, cdn, fig2a, fig2b, fig2c, fig3, flap, fleet, fuzz, handover, middlebox, sec42,
 };
 
 /// A named smoke run.
@@ -22,6 +22,23 @@ type Runner = (&'static str, Box<dyn FnOnce()>);
 /// oracle violation (via `expect_clean` inside the scenario).
 fn runners() -> Vec<Runner> {
     vec![
+        (
+            "cdn",
+            Box::new(|| {
+                let p = cdn::Params {
+                    max_flows: 10,
+                    model: smapp_bench::traffic::TrafficModel {
+                        size_max: 120_000,
+                        ..smapp_bench::traffic::TrafficModel::cdn()
+                    },
+                    window: smapp_sim::SimTime::from_secs(6),
+                    ..Default::default()
+                };
+                let (summary, r) = cdn::run_instrumented(&p);
+                assert!(summary.events > 0);
+                assert!(r.flows > 0 && r.delivered == r.offered);
+            }) as Box<dyn FnOnce()>,
+        ),
         (
             "fig2a",
             Box::new(|| {
@@ -153,5 +170,70 @@ fn every_registered_scenario_runs_oracle_clean() {
         // replayable (scenario, seed, time) triple.
         eprintln!("oracle smoke: {name}");
         run();
+    }
+}
+
+/// Every member of the adversarial middlebox family — the four rewriters
+/// and the three flood mixes — runs oracle-clean with full delivery on a
+/// fixed smoke case. The fuzzer explores these knobs randomly; this pins
+/// each one individually so a family member cannot silently break (or
+/// silently stop rewriting) outside a fuzz run.
+#[test]
+fn adversarial_middlebox_family_runs_oracle_clean() {
+    use smapp_bench::fuzz::{feat, run_case_opts, FuzzCase, FuzzOptions, Rewrite, Strip};
+    use smapp_sim::adversary::FloodMix;
+    use smapp_sim::LinkCfg;
+
+    let base = || {
+        let mut c = FuzzCase::derive_v1(2);
+        assert!(matches!(c.topo, smapp_bench::fuzz::Topo::TwoPath));
+        c.dynamics.clear();
+        c
+    };
+    let opts = FuzzOptions::default();
+
+    for (rw, bit) in [
+        (Rewrite::SeqNat, feat::SEQ_REWRITTEN),
+        (Rewrite::Split, feat::SEGMENTS_SPLIT),
+        (Rewrite::Coalesce, feat::SEGMENTS_COALESCED),
+        (Rewrite::AckThin(3), feat::ACKS_THINNED),
+    ] {
+        let mut c = base();
+        c.rewrite = rw;
+        // The rewriters only touch option-free segments, so run them on a
+        // stripped (plain-TCP fallback) path — except SeqNat, which
+        // rewrites every segment. Coalescing needs a fast access link to
+        // beat the router's flush timer.
+        if rw != Rewrite::SeqNat {
+            c.strip = Strip::FromStart;
+        }
+        if rw == Rewrite::Coalesce {
+            c.link_cfgs = vec![LinkCfg::mbps_ms(100, 5); 2];
+        }
+        eprintln!("adversarial smoke: {rw:?}");
+        let out = run_case_opts(&c, &opts);
+        assert!(out.violations.is_empty(), "{rw:?}: {:?}", out.violations);
+        assert!(out.delivered >= c.transfer, "{rw:?} delivered everything");
+        assert!(out.coverage.get(bit), "{rw:?} actually fired");
+    }
+
+    for (mix, bit) in [
+        (FloodMix::PlainSyn, feat::FLOOD_PLAIN),
+        (FloodMix::MpJoin, feat::FLOOD_MP_JOIN),
+        (FloodMix::Mixed, feat::FLOOD_MIXED),
+    ] {
+        let mut c = base();
+        c.flood = Some(smapp_bench::fuzz::FloodPlan {
+            mix,
+            count: 25,
+            interval_ms: 4,
+            start_ms: 30,
+        });
+        eprintln!("adversarial smoke: flood {mix:?}");
+        let out = run_case_opts(&c, &opts);
+        assert!(out.violations.is_empty(), "{mix:?}: {:?}", out.violations);
+        assert!(out.delivered >= c.transfer, "{mix:?} delivered everything");
+        assert!(out.coverage.get(feat::FLOOD_SYNS_SENT), "flood ran");
+        assert!(out.coverage.get(bit), "{mix:?} mix bit set");
     }
 }

@@ -88,6 +88,10 @@ pub struct ConnStats {
     /// End-host invariant violations recorded by the connection's own
     /// taps (capped; the count is what gates).
     pub integrity_violations: Vec<String>,
+    /// Coverage hook: one-hot mask of every subflow close reason this
+    /// connection observed (`SubflowError::coverage_bit`), graceful FIN
+    /// closes included. The fuzzer folds this into its feature bitmap.
+    pub sf_close_reasons: u8,
 }
 
 /// Connection-level info exposed to path managers and controllers.
@@ -169,6 +173,10 @@ pub struct Connection {
     /// subflow, no DSS options, identity mapping between subflow and meta
     /// stream, close via the subflow FIN.
     fallback: bool,
+    /// True once any DSS option has been received from the peer. Gates the
+    /// sender-side §3.7 fallback inference: a plain ACK proves stripping
+    /// only while the peer has never spoken DSS.
+    peer_dss_seen: bool,
 }
 
 impl std::fmt::Debug for Connection {
@@ -345,12 +353,26 @@ impl Connection {
             cfg_mss: cfg.mss,
             wscale: cfg.window_scale,
             fallback: !cfg.mptcp_enabled,
+            peer_dss_seen: false,
         }
     }
 
     /// True when the connection fell back to plain TCP.
     pub fn is_fallback(&self) -> bool {
         self.fallback
+    }
+
+    /// Enter inferred plain-TCP fallback (RFC 6824 §3.7): a middlebox is
+    /// stripping MPTCP options mid-connection. Refuse further joins and
+    /// drop any queued connection-level reinjections — the peer reads the
+    /// subflow as plain TCP, so reinjected bytes at fresh subflow offsets
+    /// would be misread as new stream data.
+    fn infer_fallback(&mut self) {
+        self.fallback = true;
+        self.remote_key = None;
+        self.remote_token = None;
+        self.stats.fallback_inferred = true;
+        self.reinject.clear();
     }
 
     /// Record an end-host oracle violation (capped; see
@@ -835,13 +857,28 @@ impl Connection {
             sf.stats.retrans += 1;
             sf.flight
                 .mark_head_retransmitted(env.now)
-                .map(|(off, _len)| (off, sf.flight.oldest().expect("head exists").tag.clone()))
+                .map(|(off, len)| {
+                    (
+                        off,
+                        len,
+                        sf.flight.oldest().expect("head exists").tag.clone(),
+                    )
+                })
         };
-        if let Some((off, tag)) = head {
+        if let Some((off, len, tag)) = head {
+            // A partial ACK may have trimmed the head inside the original
+            // segment (a middlebox that re-segments the stream makes
+            // mid-segment cumulative ACKs routine): the tag still holds the
+            // payload as originally sent, so skip the acked prefix and
+            // advance the mapping to match. Replaying the full payload at
+            // the trimmed offset would shift the byte stream and write past
+            // its end.
+            let skip = tag.payload.len() - len as usize;
+            let payload = tag.payload.slice(skip..);
             let mapping = tag.map.map(|m| DssMapping {
-                dsn: self.wire_dsn(m.off),
+                dsn: self.wire_dsn(m.off + skip as u64),
                 ssn: (off as u32).wrapping_add(1),
-                len: m.len as u16,
+                len: (m.len - skip as u32) as u16,
             });
             let sf = &self.subflows[id as usize];
             let seg = TcpSegment {
@@ -864,7 +901,7 @@ impl Connection {
                         .encode(),
                     )],
                 },
-                payload: tag.payload.clone(),
+                payload,
             };
             env.send_segment(sf.tuple.src, sf.tuple.dst, &seg);
         } else {
@@ -954,6 +991,17 @@ impl Connection {
     // ------------------------------------------------------------------
 
     fn add_reinject(&mut self, r: MetaRange) {
+        // Plain-TCP fallback must never reinject: there is one subflow and
+        // no DSS mapping to re-anchor the bytes, so `send_data_on` would
+        // append the payload at a fresh subflow offset and the receiver's
+        // identity mapping would deliver it as duplicate stream bytes past
+        // the end of the stream. Subflow-level retransmission
+        // (`retransmit_head`) is the only recovery path here. (Found by
+        // the scenario fuzzer: split-rewriter cases RTO under queue
+        // pressure and tripped the stream-duplication oracle.)
+        if self.fallback {
+            return;
+        }
         let start = r.off.max(self.meta_una);
         let end = r.end();
         if start >= end {
@@ -1585,7 +1633,9 @@ impl Connection {
         let mut extra_events: Vec<PmEvent> = Vec::new();
         let mut prio_change: Option<(Option<u8>, bool)> = None;
         let mut fastclose = false;
+        let mut any_mp_opt = false;
         for o in seg.mptcp_opts() {
+            any_mp_opt = true;
             match MpOption::decode(o) {
                 Ok(MpOption::Dss(d)) => dss = Some(d),
                 Ok(MpOption::AddAddr {
@@ -1617,6 +1667,9 @@ impl Connection {
             }
         }
         events.append(&mut extra_events);
+        if dss.is_some() {
+            self.peer_dss_seen = true;
+        }
         if fastclose {
             self.abort(env, events);
             return;
@@ -1648,16 +1701,33 @@ impl Connection {
             && self.meta_recv.next_expected() == 0
             && self.peer_fin_off.is_none()
         {
-            self.fallback = true;
-            self.remote_key = None;
-            self.remote_token = None;
-            self.stats.fallback_inferred = true;
+            self.infer_fallback();
         }
 
         // ---- subflow-level ACK processing ----
+        let pre_ack_una = self.subflows[id as usize].una_off;
         let mut data_acked_progress = false;
         if seg.hdr.flags.ack {
             self.process_subflow_ack(id, seg, env, events);
+        }
+        // Sender-side §3.7 inference, the mirror image of the receiver-side
+        // check above: we sent DSS-mapped data, and the (sole) subflow's
+        // cumulative ACK is advancing over it via segments carrying no
+        // MPTCP options at all, from a peer that has never sent a DSS —
+        // a middlebox is stripping our options, so the peer is reading the
+        // subflow as plain TCP. Fall back before any connection-level
+        // reinjection can place bytes at fresh subflow offsets the peer
+        // would misread as new data (identity mapping past the stream end).
+        if cfg.fallback_inference
+            && !self.fallback
+            && id == 0
+            && self.subflows.len() == 1
+            && !any_mp_opt
+            && seg.payload.is_empty()
+            && !self.peer_dss_seen
+            && self.subflows[id as usize].una_off > pre_ack_una
+        {
+            self.infer_fallback();
         }
         // Peer window (conn-level; any subflow updates it).
         {
@@ -2030,6 +2100,7 @@ impl Connection {
             sf.state = SfState::Closed;
             sf.rto_armed = false;
             let tuple = sf.tuple;
+            self.stats.sf_close_reasons |= SubflowError::None.coverage_bit();
             events.push(PmEvent::SubflowClosed {
                 token: self.token,
                 id,
@@ -2088,6 +2159,7 @@ impl Connection {
         }
         sf.state = SfState::Closed;
         sf.rto_armed = false;
+        self.stats.sf_close_reasons |= error.coverage_bit();
         let tuple = sf.tuple;
         let ranges: Vec<MetaRange> = sf.flight.iter().filter_map(|s| s.tag.map).collect();
         sf.flight.clear();

@@ -77,6 +77,20 @@ impl SubflowError {
         }
     }
 
+    /// One-hot bit for coverage bitmasks (`ConnStats::sf_close_reasons`):
+    /// bit 0 is a graceful FIN close, bits 1..7 the error variants.
+    pub fn coverage_bit(self) -> u8 {
+        1 << match self {
+            SubflowError::None => 0,
+            SubflowError::Timeout => 1,
+            SubflowError::Reset => 2,
+            SubflowError::Refused => 3,
+            SubflowError::NetUnreachable => 4,
+            SubflowError::IfaceDown => 5,
+            SubflowError::PmRequested => 6,
+        }
+    }
+
     /// Inverse of [`SubflowError::errno`]; unknown numbers map to `Timeout`.
     pub fn from_errno(e: u16) -> Self {
         match e {

@@ -31,6 +31,9 @@ pub struct RunVerdict {
     pub inner: Option<Box<dyn TraceSink>>,
     /// Whether a wire oracle was installed and checked.
     pub wire_checked: bool,
+    /// Wire-feature coverage the oracle observed (see
+    /// [`smapp_sim::Coverage`]); empty when no oracle was installed.
+    pub wire_coverage: smapp_sim::Coverage,
 }
 
 impl RunVerdict {
@@ -160,6 +163,7 @@ pub fn conclude(
         violations,
         inner: wire.inner,
         wire_checked: wire.checked,
+        wire_coverage: wire.coverage,
     }
 }
 

@@ -1,0 +1,197 @@
+//! Feature-coverage bitmap for coverage-guided scenario fuzzing.
+//!
+//! [`Coverage`] is a fixed 256-bit set. The low 64 bits (the *wire* range)
+//! are reserved for features the [`crate::Oracle`] observes directly on
+//! trace events — TCP flag shapes, MPTCP option subtypes, drop reasons —
+//! and are set by the oracle itself as a pure observer (no RNG, no state
+//! the simulation can see, so instrumentation never perturbs a
+//! trajectory). Bits 64..256 belong to whoever assembles the final bitmap
+//! for a run (the bench fuzzer folds in case shape, middlebox counters,
+//! connection stats and the run outcome after the world has stopped).
+//!
+//! The container is deliberately dumb: set/test/count/union and a
+//! compact hex rendering. What makes a *feature* is a convention between
+//! the instrumented code and the fuzzer's scheduler — see the `wire`
+//! constants here and the bench-side constants in `smapp-bench`.
+
+/// Number of 64-bit words in a [`Coverage`] bitmap.
+pub const COVERAGE_WORDS: usize = 4;
+
+/// Total number of feature bits a [`Coverage`] bitmap can hold.
+pub const COVERAGE_BITS: u32 = (COVERAGE_WORDS as u32) * 64;
+
+/// A 256-bit feature bitmap. Cheap to copy, cheap to union, and
+/// deterministic to render — two runs with the same seed must produce
+/// byte-identical bitmaps.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Coverage {
+    /// The raw words, least-significant bit = feature 0.
+    pub words: [u64; COVERAGE_WORDS],
+}
+
+impl Coverage {
+    /// The empty bitmap.
+    pub const fn new() -> Self {
+        Coverage {
+            words: [0; COVERAGE_WORDS],
+        }
+    }
+
+    /// Set feature `bit` (no-op when out of range — callers may derive
+    /// bits from open-ended enums).
+    #[inline]
+    pub fn set(&mut self, bit: u32) {
+        if bit < COVERAGE_BITS {
+            self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// True when feature `bit` has been observed.
+    #[inline]
+    pub fn get(&self, bit: u32) -> bool {
+        bit < COVERAGE_BITS && self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Number of distinct features observed.
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Fold another bitmap into this one.
+    pub fn union(&mut self, other: &Coverage) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Number of features in `other` that this bitmap has not seen —
+    /// the fuzzer's "is this case interesting" metric.
+    pub fn new_bits(&self, other: &Coverage) -> u32 {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (b & !a).count_ones())
+            .sum()
+    }
+
+    /// True when no feature has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterate the set feature bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..COVERAGE_BITS).filter(move |b| self.get(*b))
+    }
+
+    /// Compact fixed-width hex rendering (most-significant word first),
+    /// stable across runs — suitable for golden files and report JSON.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(COVERAGE_WORDS * 16);
+        for w in self.words.iter().rev() {
+            s.push_str(&format!("{w:016x}"));
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for Coverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Coverage({} bits: {})", self.count(), self.to_hex())
+    }
+}
+
+/// Wire-range feature bits (0..64), set by the [`crate::Oracle`] while it
+/// observes trace events. Grouped by what they witness; gaps are reserved.
+pub mod wire {
+    /// A plain SYN (no ACK) was sent.
+    pub const SYN: u32 = 0;
+    /// A SYN-ACK was sent.
+    pub const SYN_ACK: u32 = 1;
+    /// A FIN was sent.
+    pub const FIN: u32 = 2;
+    /// An RST was sent.
+    pub const RST: u32 = 3;
+    /// A pure ACK (no payload, no SYN/FIN/RST) was sent.
+    pub const PURE_ACK: u32 = 4;
+    /// A data-bearing segment was sent.
+    pub const DATA: u32 = 5;
+    /// A data segment carrying FIN was sent.
+    pub const DATA_FIN: u32 = 6;
+    /// A TCP segment with *no* options beyond the fixed header was sent
+    /// (what an option-stripping middlebox leaves behind).
+    pub const NO_OPTIONS: u32 = 7;
+
+    /// MP_CAPABLE on an initial SYN.
+    pub const MP_CAPABLE_SYN: u32 = 8;
+    /// MP_CAPABLE on a non-SYN (third-ack / data echo) segment.
+    pub const MP_CAPABLE_ACK: u32 = 9;
+    /// MP_JOIN in any of its three lengths.
+    pub const MP_JOIN: u32 = 10;
+    /// DSS without a mapping (pure data-ack).
+    pub const DSS_ACK_ONLY: u32 = 11;
+    /// DSS carrying a mapping.
+    pub const DSS_MAP: u32 = 12;
+    /// Any other valid MPTCP subtype (ADD_ADDR .. MP_FASTCLOSE).
+    pub const MP_OTHER: u32 = 13;
+
+    /// A random (loss-model) drop consumed a transmission.
+    pub const DROP_RANDOM: u32 = 16;
+    /// A drop because the delivery interface was down.
+    pub const DROP_IFACE_DOWN: u32 = 17;
+    /// A queue-full (drop-tail) drop before admission.
+    pub const DROP_QUEUE_FULL: u32 = 18;
+    /// Any other drop reason.
+    pub const DROP_OTHER: u32 = 19;
+
+    /// An ICMP packet was sent.
+    pub const ICMP: u32 = 24;
+    /// At least one invariant violation was recorded.
+    pub const VIOLATION: u32 = 25;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count_roundtrip() {
+        let mut c = Coverage::new();
+        assert!(c.is_empty());
+        c.set(0);
+        c.set(63);
+        c.set(64);
+        c.set(255);
+        c.set(256); // out of range: ignored
+        c.set(9999);
+        assert!(c.get(0) && c.get(63) && c.get(64) && c.get(255));
+        assert!(!c.get(1) && !c.get(256));
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, 63, 64, 255]);
+    }
+
+    #[test]
+    fn union_and_new_bits() {
+        let mut a = Coverage::new();
+        a.set(1);
+        a.set(100);
+        let mut b = Coverage::new();
+        b.set(100);
+        b.set(200);
+        assert_eq!(a.new_bits(&b), 1);
+        assert_eq!(b.new_bits(&a), 1);
+        a.union(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.new_bits(&b), 0);
+    }
+
+    #[test]
+    fn hex_is_stable_and_width_fixed() {
+        let mut c = Coverage::new();
+        c.set(4);
+        let h = c.to_hex();
+        assert_eq!(h.len(), COVERAGE_WORDS * 16);
+        assert!(h.ends_with("10"));
+        assert_eq!(h, c.to_hex());
+    }
+}

@@ -59,6 +59,18 @@ pub enum NodeCommand {
     /// "transparent" middlebox that normalizes unknown TCP options, the
     /// deployment hazard MPTCP's plain-TCP fallback exists for.
     StripMptcp(bool),
+    /// Enable or disable NAT-style sequence-number rewriting on forwarded
+    /// TCP segments (see [`crate::rewrite::rewrite_seq_ack`]).
+    SeqNat(bool),
+    /// Enable or disable re-segmentation of option-free data segments
+    /// into two halves (see [`crate::rewrite::split_segment`]).
+    SplitSegments(bool),
+    /// Enable or disable LRO/GRO-style coalescing of contiguous
+    /// option-free data segments (see [`crate::rewrite::coalesce_pair`]).
+    CoalesceSegments(bool),
+    /// Drop every n-th eligible pure ACK per flow (`0` disables). ACKs
+    /// completing a FIN exchange are never thinned.
+    AckThin(u32),
 }
 
 /// One deterministic scripted change to the network.

@@ -63,6 +63,8 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod adversary;
+pub mod coverage;
 pub mod dynamics;
 pub(crate) mod equeue;
 pub mod firewall;
@@ -71,6 +73,7 @@ pub mod link;
 pub mod node;
 pub mod oracle;
 pub mod packet;
+pub mod rewrite;
 pub mod rng;
 pub mod router;
 pub mod time;
@@ -78,6 +81,8 @@ pub mod trace;
 pub mod world;
 
 pub use addr::{Addr, AddrPrefix, FlowKey};
+pub use adversary::FloodSource;
+pub use coverage::Coverage;
 pub use dynamics::{DynAction, DynEntry, DynamicsScript, NodeCommand, OutOfOrderError};
 pub use firewall::{DenyPolicy, Firewall};
 pub use hash::{FxHashMap, FxHashSet};

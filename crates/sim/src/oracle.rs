@@ -33,8 +33,9 @@
 //! buffer/window bounds) live in the `smapp-mptcp` connection taps; this
 //! module checks everything observable on the wire.
 
+use crate::coverage::{wire, Coverage};
 use crate::hash::FxHashMap;
-use crate::packet::{Packet, PROTO_TCP};
+use crate::packet::{Packet, PROTO_ICMP, PROTO_TCP};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
 use crate::world::{RunSummary, StopReason};
@@ -89,6 +90,11 @@ pub struct Oracle {
     pub suppressed: u64,
     /// Trace events observed (diagnostics).
     pub events_seen: u64,
+    /// Wire-feature coverage observed this run (bits in the
+    /// [`crate::coverage::wire`] range). Like every other oracle field this
+    /// is write-only from the simulation's perspective: recording coverage
+    /// never changes a trajectory.
+    pub coverage: Coverage,
 }
 
 impl Oracle {
@@ -102,6 +108,7 @@ impl Oracle {
             violations: Vec::new(),
             suppressed: 0,
             events_seen: 0,
+            coverage: Coverage::new(),
         }
     }
 
@@ -155,6 +162,7 @@ impl Oracle {
     }
 
     fn violate(&mut self, at: SimTime, invariant: &'static str, detail: String) {
+        self.coverage.set(wire::VIOLATION);
         if self.violations.len() >= MAX_VIOLATIONS {
             self.suppressed += 1;
             return;
@@ -201,6 +209,27 @@ impl Oracle {
             ack: b[13] & 0x10 != 0,
             payload_len: b.len() - data_offset,
         };
+        let (fin, rst) = (b[13] & 0x01 != 0, b[13] & 0x04 != 0);
+        let cov = &mut self.coverage;
+        match (seg.syn, seg.ack) {
+            (true, false) => cov.set(wire::SYN),
+            (true, true) => cov.set(wire::SYN_ACK),
+            _ => {}
+        }
+        if fin {
+            cov.set(wire::FIN);
+        }
+        if rst {
+            cov.set(wire::RST);
+        }
+        if seg.payload_len > 0 {
+            cov.set(if fin { wire::DATA_FIN } else { wire::DATA });
+        } else if !seg.syn && !fin && !rst && seg.ack {
+            cov.set(wire::PURE_ACK);
+        }
+        if data_offset == FIXED && !seg.syn {
+            cov.set(wire::NO_OPTIONS);
+        }
         let mut i = FIXED;
         while i < data_offset {
             match b[i] {
@@ -232,6 +261,11 @@ impl Oracle {
                 format!("{} -> {}: {e}", pkt.src, pkt.dst),
             ),
             Ok(MpWire::Capable { key }) => {
+                self.coverage.set(if seg.syn && !seg.ack {
+                    wire::MP_CAPABLE_SYN
+                } else {
+                    wire::MP_CAPABLE_ACK
+                });
                 // Key uniqueness is only meaningfully asserted on the
                 // initial SYN (retransmits repeat the key on the same flow).
                 if seg.syn && !seg.ack {
@@ -253,7 +287,10 @@ impl Oracle {
                     }
                 }
             }
+            Ok(MpWire::Join) => self.coverage.set(wire::MP_JOIN),
+            Ok(MpWire::Dss { map_len: None }) => self.coverage.set(wire::DSS_ACK_ONLY),
             Ok(MpWire::Dss { map_len: Some(len) }) => {
+                self.coverage.set(wire::DSS_MAP);
                 if len != 0 && len as usize != seg.payload_len {
                     self.violate(
                         at,
@@ -265,7 +302,7 @@ impl Oracle {
                     );
                 }
             }
-            Ok(_) => {}
+            Ok(MpWire::Other) => self.coverage.set(wire::MP_OTHER),
         }
     }
 }
@@ -292,6 +329,8 @@ impl TraceSink for Oracle {
             TraceKind::Send { .. } => {
                 if ev.pkt.proto == PROTO_TCP {
                     self.check_tcp(ev.at, ev.pkt);
+                } else if ev.pkt.proto == PROTO_ICMP {
+                    self.coverage.set(wire::ICMP);
                 }
             }
             TraceKind::Enqueue { link, .. } => {
@@ -325,6 +364,12 @@ impl TraceSink for Oracle {
                 }
             }
             TraceKind::Drop { link, reason } => {
+                self.coverage.set(match reason {
+                    DropReason::Random => wire::DROP_RANDOM,
+                    DropReason::IfaceDown => wire::DROP_IFACE_DOWN,
+                    DropReason::QueueFull => wire::DROP_QUEUE_FULL,
+                    _ => wire::DROP_OTHER,
+                });
                 // QueueFull happens before admission, IfaceDown/NoRoute at
                 // the sending host before any link — only drops after
                 // serialization started consume a transmission.
@@ -370,6 +415,8 @@ impl TraceSink for Oracle {
 enum MpWire {
     /// `MP_CAPABLE` carrying the sender's key (SYN / SYN-ACK form).
     Capable { key: u64 },
+    /// `MP_JOIN` in any of its three lengths.
+    Join,
     /// DSS with the mapping length when a mapping is present.
     Dss { map_len: Option<u16> },
     /// Any other valid subtype.
@@ -400,7 +447,7 @@ fn parse_mptcp(p: &[u8]) -> Result<MpWire, &'static str> {
         },
         // MP_JOIN: SYN (10), SYN/ACK (14), third ACK (22).
         0x1 => match p.len() {
-            10 | 14 | 22 => Ok(MpWire::Other),
+            10 | 14 | 22 => Ok(MpWire::Join),
             _ => Err("bad MP_JOIN length"),
         },
         // DSS: flags select 4/8-byte ack and mapping presence.
@@ -446,6 +493,9 @@ pub struct OracleOutcome {
     pub checked: bool,
     /// Violations beyond the storage cap.
     pub suppressed: u64,
+    /// Wire-feature coverage the oracle observed (empty when no oracle
+    /// was installed).
+    pub coverage: Coverage,
 }
 
 /// Take the trace sink out of `core`, run the oracle's end-of-run checks,
@@ -457,6 +507,7 @@ pub fn conclude(core: &mut crate::world::SimCore, summary: &RunSummary) -> Oracl
         inner: None,
         checked: false,
         suppressed: 0,
+        coverage: Coverage::new(),
     };
     let Some(mut sink) = core.take_trace() else {
         return out;
@@ -466,6 +517,7 @@ pub fn conclude(core: &mut crate::world::SimCore, summary: &RunSummary) -> Oracl
             o.finish(summary);
             out.violations = o.take_violations();
             out.suppressed = o.suppressed;
+            out.coverage = o.coverage;
             out.inner = o.take_inner();
             out.checked = true;
         }
@@ -723,6 +775,51 @@ mod tests {
             &p2,
         ));
         assert_eq!(o.violations()[0].invariant, "token-uniqueness");
+    }
+
+    #[test]
+    fn coverage_bits_track_wire_features() {
+        let mut o = Oracle::new();
+        let send = TraceKind::Send {
+            node: NodeId(0),
+            iface: IfaceId(0),
+        };
+        // SYN, then a pure ACK, then data+FIN with no options.
+        o.record(&ev(1, send, &tcp_pkt(raw_tcp(0x02, &[], b""))));
+        o.record(&ev(2, send, &tcp_pkt(raw_tcp(0x10, &[], b""))));
+        o.record(&ev(3, send, &tcp_pkt(raw_tcp(0x11, &[], b"xy"))));
+        let c = o.coverage;
+        assert!(c.get(crate::coverage::wire::SYN));
+        assert!(c.get(crate::coverage::wire::PURE_ACK));
+        assert!(c.get(crate::coverage::wire::DATA_FIN));
+        assert!(c.get(crate::coverage::wire::FIN));
+        assert!(c.get(crate::coverage::wire::NO_OPTIONS));
+        assert!(!c.get(crate::coverage::wire::SYN_ACK));
+        assert!(!c.get(crate::coverage::wire::RST));
+        assert!(!c.get(crate::coverage::wire::VIOLATION));
+        assert!(o.is_clean());
+        // Identical replay ⇒ identical bitmap.
+        let mut o2 = Oracle::new();
+        o2.record(&ev(1, send, &tcp_pkt(raw_tcp(0x02, &[], b""))));
+        o2.record(&ev(2, send, &tcp_pkt(raw_tcp(0x10, &[], b""))));
+        o2.record(&ev(3, send, &tcp_pkt(raw_tcp(0x11, &[], b"xy"))));
+        assert_eq!(o2.coverage, c);
+    }
+
+    #[test]
+    fn violations_set_the_violation_coverage_bit() {
+        let mut o = Oracle::new();
+        let mut raw = raw_tcp(0x10, &[], b"x");
+        raw[12] = 0xF0;
+        o.record(&ev(
+            1,
+            TraceKind::Send {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            &tcp_pkt(raw),
+        ));
+        assert!(o.coverage.get(crate::coverage::wire::VIOLATION));
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Adversarial middlebox rewriters: byte-level TCP segment surgery.
+//!
+//! The option-stripping middlebox ([`crate::dynamics::strip_mptcp_options`])
+//! models one deployment hazard; the paper's larger point is that the
+//! internet path does *many* rude things to a TCP flow. This module holds
+//! the pure byte-level halves of the adversarial family the [`crate::Router`]
+//! can apply on its forwarding path:
+//!
+//! * **sequence-number rewriting** ([`rewrite_seq_ack`]) — what a NAT or
+//!   load balancer does when it randomizes ISNs; MPTCP survives it because
+//!   DSS subflow sequence numbers are relative (RFC 6824 §3.3),
+//! * **segment splitting** ([`split_segment`]) — a segmentation-offload
+//!   middlebox or a small-MTU tunnel re-segmenting the stream,
+//! * **segment coalescing** ([`coalesce_pair`]) — LRO/GRO-style merging of
+//!   contiguous in-flight segments.
+//!
+//! All functions follow the stripper's contract: parse raw wire bytes, and
+//! return `None` for anything that does not parse or is not eligible — a
+//! middlebox must never corrupt what it cannot parse. Splitting and
+//! coalescing are restricted to segments with **no TCP options**: a DSS
+//! mapping covers exactly one segment's payload, so re-segmenting an
+//! option-bearing packet would forge mappings the endpoints never made
+//! (and the wire oracle would rightly flag). After an option stripper has
+//! normalized a flow — or on a plain-TCP fallback connection — data
+//! segments are option-free and eligible.
+
+use bytes::Bytes;
+
+/// Minimum TCP header length (no options).
+const TCP_FIXED_LEN: usize = 20;
+
+/// Parse the data offset of a raw TCP segment, validating bounds.
+fn data_offset(p: &[u8]) -> Option<usize> {
+    if p.len() < TCP_FIXED_LEN {
+        return None;
+    }
+    let off = (p[12] >> 4) as usize * 4;
+    if off < TCP_FIXED_LEN || off > p.len() {
+        return None;
+    }
+    Some(off)
+}
+
+/// The flags byte of a raw TCP segment, when it parses.
+pub fn tcp_flags(p: &[u8]) -> Option<u8> {
+    data_offset(p).map(|_| p[13])
+}
+
+/// The sequence number of a raw TCP segment, when it parses.
+pub fn tcp_seq(p: &[u8]) -> Option<u32> {
+    data_offset(p).map(|_| u32::from_be_bytes([p[4], p[5], p[6], p[7]]))
+}
+
+/// Payload length of a raw TCP segment, when it parses.
+pub fn tcp_payload_len(p: &[u8]) -> Option<usize> {
+    data_offset(p).map(|off| p.len() - off)
+}
+
+/// True when the segment parses and carries no options at all.
+pub fn has_no_options(p: &[u8]) -> bool {
+    data_offset(p) == Some(TCP_FIXED_LEN)
+}
+
+/// True for a parseable *pure ACK*: ACK set, no payload, no SYN/FIN/RST.
+/// (Option-bearing pure ACKs — e.g. MPTCP DSS data-acks — count too: both
+/// TCP and DSS acknowledgements are cumulative, so a thinner may drop
+/// them.)
+pub fn is_pure_ack(p: &[u8]) -> bool {
+    match data_offset(p) {
+        Some(off) => p[13] & 0x17 == 0x10 && p.len() == off,
+        None => false,
+    }
+}
+
+/// Rewrite sequence and acknowledgment numbers by the given wrapping
+/// deltas — the observable effect of an ISN-randomizing NAT. The sequence
+/// number always shifts by `seq_delta`; the acknowledgment shifts by
+/// `ack_delta` only when the ACK flag is set (an unset ack field is
+/// garbage and must stay untouched). Returns `None` when the segment does
+/// not parse (pass through) or when both deltas are no-ops.
+pub fn rewrite_seq_ack(p: &[u8], seq_delta: u32, ack_delta: u32) -> Option<Bytes> {
+    data_offset(p)?;
+    let ack_flag = p[13] & 0x10 != 0;
+    if seq_delta == 0 && (!ack_flag || ack_delta == 0) {
+        return None;
+    }
+    let mut out = p.to_vec();
+    let seq = u32::from_be_bytes([p[4], p[5], p[6], p[7]]).wrapping_add(seq_delta);
+    out[4..8].copy_from_slice(&seq.to_be_bytes());
+    if ack_flag {
+        let ack = u32::from_be_bytes([p[8], p[9], p[10], p[11]]).wrapping_sub(ack_delta);
+        out[8..12].copy_from_slice(&ack.to_be_bytes());
+    }
+    Some(Bytes::from(out))
+}
+
+/// Split one option-free data segment into two contiguous halves, exactly
+/// what a re-segmenting middlebox produces: the first half keeps the
+/// original sequence number and loses FIN/PSH, the second half starts
+/// `k` bytes later in sequence space and inherits the trailing flags.
+/// Eligibility: parses, no options, no SYN/RST, at least 2 payload bytes.
+///
+/// `buggy` is a **test-only** fault injection: the second half is emitted
+/// with a corrupt data offset (claiming a zero-length header), which the
+/// wire oracle must flag as `tcp-parse`. It exists so the fuzzer's
+/// broken-build detection test has a deterministic rewriter bug to find.
+pub fn split_segment(p: &[u8], buggy: bool) -> Option<(Bytes, Bytes)> {
+    let off = data_offset(p)?;
+    if off != TCP_FIXED_LEN {
+        return None; // options present: re-segmenting would forge DSS maps
+    }
+    let flags = p[13];
+    if flags & 0x06 != 0 {
+        return None; // SYN or RST
+    }
+    let payload_len = p.len() - off;
+    if payload_len < 2 {
+        return None;
+    }
+    let k = payload_len / 2;
+    let seq = u32::from_be_bytes([p[4], p[5], p[6], p[7]]);
+
+    let mut first = p[..off + k].to_vec();
+    first[13] &= !0x09; // clear FIN|PSH: they travel with the tail
+
+    let mut second = Vec::with_capacity(off + payload_len - k);
+    second.extend_from_slice(&p[..off]);
+    second.extend_from_slice(&p[off + k..]);
+    second[4..8].copy_from_slice(&seq.wrapping_add(k as u32).to_be_bytes());
+    if buggy {
+        second[12] &= 0x0F; // data offset 0: structurally invalid
+    }
+    Some((Bytes::from(first), Bytes::from(second)))
+}
+
+/// Merge two contiguous option-free segments of the same flow into one —
+/// LRO/GRO-style coalescing. `first` must immediately precede `second` in
+/// sequence space; both must parse, carry no options, and `first` must be
+/// plain data (no SYN/FIN/RST). The merged segment keeps `first`'s
+/// sequence number, takes `second`'s acknowledgment/window/flags (the
+/// fresher cumulative state), and concatenates the payloads.
+pub fn coalesce_pair(first: &[u8], second: &[u8]) -> Option<Bytes> {
+    let off_a = data_offset(first)?;
+    let off_b = data_offset(second)?;
+    if off_a != TCP_FIXED_LEN || off_b != TCP_FIXED_LEN {
+        return None;
+    }
+    if first[13] & 0x07 != 0 || second[13] & 0x06 != 0 {
+        return None; // first must be plain data; second may carry FIN
+    }
+    let len_a = first.len() - off_a;
+    let len_b = second.len() - off_b;
+    if len_a == 0 || len_b == 0 {
+        return None;
+    }
+    if first[0..4] != second[0..4] {
+        return None; // different flow (ports)
+    }
+    let seq_a = u32::from_be_bytes([first[4], first[5], first[6], first[7]]);
+    let seq_b = u32::from_be_bytes([second[4], second[5], second[6], second[7]]);
+    if seq_a.wrapping_add(len_a as u32) != seq_b {
+        return None; // not contiguous
+    }
+    let mut out = Vec::with_capacity(TCP_FIXED_LEN + len_a + len_b);
+    out.extend_from_slice(&second[..TCP_FIXED_LEN]);
+    out[4..8].copy_from_slice(&seq_a.to_be_bytes());
+    out.extend_from_slice(&first[off_a..]);
+    out.extend_from_slice(&second[off_b..]);
+    Some(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Option-free TCP segment: ports 4321→80, given seq/ack/flags/payload.
+    fn seg(seq: u32, ack: u32, flags: u8, payload: &[u8]) -> Vec<u8> {
+        let mut b = vec![0u8; TCP_FIXED_LEN];
+        b[0..2].copy_from_slice(&4321u16.to_be_bytes());
+        b[2..4].copy_from_slice(&80u16.to_be_bytes());
+        b[4..8].copy_from_slice(&seq.to_be_bytes());
+        b[8..12].copy_from_slice(&ack.to_be_bytes());
+        b[12] = 5 << 4;
+        b[13] = flags;
+        b.extend_from_slice(payload);
+        b
+    }
+
+    #[test]
+    fn seq_rewrite_shifts_and_round_trips() {
+        let s = seg(1000, 500, 0x18, b"abc");
+        let out = rewrite_seq_ack(&s, 7, 3).unwrap();
+        assert_eq!(tcp_seq(&out), Some(1007));
+        assert_eq!(u32::from_be_bytes([out[8], out[9], out[10], out[11]]), 497);
+        // Undo with the inverse deltas: byte-identical round trip.
+        let back = rewrite_seq_ack(&out, 0u32.wrapping_sub(7), 0u32.wrapping_sub(3)).unwrap();
+        assert_eq!(&back[..], &s[..]);
+    }
+
+    #[test]
+    fn seq_rewrite_leaves_unset_ack_alone() {
+        let s = seg(1000, 0xDEAD, 0x02, b""); // SYN, no ACK flag
+        let out = rewrite_seq_ack(&s, 5, 9).unwrap();
+        assert_eq!(tcp_seq(&out), Some(1005));
+        assert_eq!(&out[8..12], &s[8..12], "ack field untouched");
+        assert!(rewrite_seq_ack(b"shrt", 5, 9).is_none());
+    }
+
+    #[test]
+    fn split_preserves_bytes_and_sequence_space() {
+        let s = seg(2000, 900, 0x19, b"helloworld"); // FIN|PSH|ACK
+        let (a, b) = split_segment(&s, false).unwrap();
+        assert_eq!(tcp_seq(&a), Some(2000));
+        assert_eq!(tcp_seq(&b), Some(2005));
+        assert_eq!(&a[TCP_FIXED_LEN..], b"hello");
+        assert_eq!(&b[TCP_FIXED_LEN..], b"world");
+        assert_eq!(a[13] & 0x01, 0, "FIN travels with the tail");
+        assert_eq!(b[13] & 0x01, 1);
+        // Reassembling the halves gives back the original byte stream.
+        let merged = coalesce_pair(&a, &b).unwrap();
+        assert_eq!(&merged[TCP_FIXED_LEN..], b"helloworld");
+        assert_eq!(tcp_seq(&merged), Some(2000));
+        assert_eq!(merged[13] & 0x01, 1, "FIN survives the round trip");
+    }
+
+    #[test]
+    fn split_rejects_ineligible_segments() {
+        assert!(
+            split_segment(&seg(1, 0, 0x02, b"xy"), false).is_none(),
+            "SYN"
+        );
+        assert!(
+            split_segment(&seg(1, 0, 0x14, b"xy"), false).is_none(),
+            "RST"
+        );
+        assert!(
+            split_segment(&seg(1, 0, 0x10, b"x"), false).is_none(),
+            "1 byte"
+        );
+        let mut with_opts = seg(1, 0, 0x18, b"abcd");
+        with_opts[12] = 6 << 4;
+        with_opts.splice(TCP_FIXED_LEN..TCP_FIXED_LEN, [1u8, 1, 1, 1]);
+        assert!(split_segment(&with_opts, false).is_none(), "options");
+    }
+
+    #[test]
+    fn buggy_split_corrupts_the_second_half() {
+        let (a, b) = split_segment(&seg(1, 0, 0x18, b"abcd"), true).unwrap();
+        assert_eq!(data_offset(&a), Some(TCP_FIXED_LEN));
+        assert_eq!(data_offset(&b), None, "second half unparseable");
+    }
+
+    #[test]
+    fn coalesce_requires_contiguity_and_same_flow() {
+        let a = seg(100, 0, 0x10, b"ab");
+        let gap = seg(103, 0, 0x10, b"cd");
+        assert!(coalesce_pair(&a, &gap).is_none(), "gap");
+        let mut other = seg(102, 0, 0x10, b"cd");
+        other[0] = 0xFF; // different source port
+        assert!(coalesce_pair(&a, &other).is_none(), "different flow");
+        let b = seg(102, 77, 0x18, b"cd");
+        let m = coalesce_pair(&a, &b).unwrap();
+        assert_eq!(tcp_payload_len(&m), Some(4));
+        assert_eq!(
+            u32::from_be_bytes([m[8], m[9], m[10], m[11]]),
+            77,
+            "fresher ack wins"
+        );
+    }
+
+    #[test]
+    fn pure_ack_classifier() {
+        assert!(is_pure_ack(&seg(1, 2, 0x10, b"")));
+        assert!(!is_pure_ack(&seg(1, 2, 0x10, b"x")), "data");
+        assert!(!is_pure_ack(&seg(1, 2, 0x11, b"")), "FIN-ACK");
+        assert!(!is_pure_ack(&seg(1, 2, 0x12, b"")), "SYN-ACK");
+        assert!(!is_pure_ack(b"tiny"));
+    }
+}

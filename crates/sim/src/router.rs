@@ -10,11 +10,12 @@
 
 use std::any::Any;
 
-use crate::addr::{Addr, AddrPrefix};
+use crate::addr::{Addr, AddrPrefix, FlowKey};
 use crate::dynamics::{strip_mptcp_options, NodeCommand};
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::node::{IfaceId, Node};
 use crate::packet::{Packet, PROTO_TCP};
+use crate::rewrite;
 use crate::world::Ctx;
 
 /// One routing-table entry.
@@ -42,15 +43,73 @@ pub struct Router {
     /// forces endpoints into plain-TCP fallback. Toggled by scenarios
     /// directly or via [`NodeCommand::StripMptcp`] in a dynamics script.
     pub strip_mptcp: bool,
+    /// When set, forwarded TCP segments get NAT-style sequence/ack
+    /// rewriting: each directed flow's sequence space shifts by a delta
+    /// derived from the router salt and the flow key, and acknowledgments
+    /// shift back by the reverse flow's delta — so both endpoints see a
+    /// consistent (but shifted) conversation, exactly like an
+    /// ISN-randomizing NAT. Toggled via [`NodeCommand::SeqNat`].
+    pub seq_nat: bool,
+    /// When set, eligible option-free data segments are split in two on
+    /// the forwarding path (re-segmenting middlebox). Toggled via
+    /// [`NodeCommand::SplitSegments`].
+    pub split_segments: bool,
+    /// When set, contiguous option-free data segments of a flow are
+    /// coalesced LRO/GRO-style: one segment is briefly held back and
+    /// merged with its successor (or flushed on a short timer). Toggled
+    /// via [`NodeCommand::CoalesceSegments`].
+    pub coalesce_segments: bool,
+    /// Drop every n-th eligible pure ACK per directed flow (`0` = off).
+    /// ACKs on flows involved in a FIN exchange are never thinned, so a
+    /// close handshake always completes. Toggled via
+    /// [`NodeCommand::AckThin`].
+    pub ack_thin: u32,
+    /// **Test-only** fault injection: when set, the split rewriter emits
+    /// a structurally corrupt second half (see
+    /// [`rewrite::split_segment`]). Exists so broken-build detection
+    /// tests have a deterministic rewriter bug for the fuzzer to find.
+    pub buggy_split: bool,
     /// MPTCP options removed while [`Router::strip_mptcp`] was on.
     pub options_stripped: u64,
+    /// Segments whose sequence numbers were rewritten by the seq NAT.
+    pub seq_rewritten: u64,
+    /// Segments split in two by the re-segmenter.
+    pub segments_split: u64,
+    /// Segment pairs merged by the coalescer.
+    pub segments_coalesced: u64,
+    /// Pure ACKs dropped by the thinner.
+    pub acks_thinned: u64,
     /// Packets forwarded, for reporting.
     pub forwarded: u64,
     /// Packets dropped for lack of a route.
     pub no_route: u64,
     /// Packets dropped because TTL reached zero.
     pub ttl_drops: u64,
+    /// One held-back segment per flow awaiting a coalesce partner.
+    pending: Vec<(FlowKey, PendingSeg)>,
+    /// Directed flows on which this router forwarded a FIN (ack-thinning
+    /// exemption state).
+    fin_seen: FxHashSet<FlowKey>,
+    /// Per-directed-flow pure-ACK counters for the thinner.
+    ack_counters: FxHashMap<FlowKey, u32>,
+    /// Timer-token generator for coalesce flush timers.
+    next_flush_token: u64,
 }
+
+/// A segment held back by the coalescer, with the egress it was already
+/// routed to and the flush-timer token guarding it.
+#[derive(Debug)]
+struct PendingSeg {
+    pkt: Packet,
+    egress: IfaceId,
+    token: u64,
+}
+
+/// How long the coalescer holds a segment waiting for its successor.
+const COALESCE_FLUSH: std::time::Duration = std::time::Duration::from_micros(200);
+
+/// Salt-mixing constant separating seq-NAT deltas from ECMP hashing.
+const SEQNAT_SALT: u64 = 0x5EA9_0A7D_EC0D_E5A1;
 
 impl Router {
     /// A router with the given ECMP hash salt (use the router's index).
@@ -60,10 +119,23 @@ impl Router {
             lpm_cache: FxHashMap::default(),
             salt,
             strip_mptcp: false,
+            seq_nat: false,
+            split_segments: false,
+            coalesce_segments: false,
+            ack_thin: 0,
+            buggy_split: false,
             options_stripped: 0,
+            seq_rewritten: 0,
+            segments_split: 0,
+            segments_coalesced: 0,
+            acks_thinned: 0,
             forwarded: 0,
             no_route: 0,
             ttl_drops: 0,
+            pending: Vec::new(),
+            fin_seen: FxHashSet::default(),
+            ack_counters: FxHashMap::default(),
+            next_flush_token: 0,
         }
     }
 
@@ -116,6 +188,92 @@ impl Router {
         };
         route.map(|i| self.pick_within(i, pkt))
     }
+
+    /// Per-directed-flow sequence deltas for the seq NAT: the forward
+    /// delta shifts this flow's sequence space; the reverse delta undoes
+    /// the peer direction's shift in the acknowledgment field. Stateless
+    /// and salt-derived, so replays are bit-identical.
+    fn nat_deltas(&self, pkt: &Packet) -> (u32, u32) {
+        let f = pkt.flow_key();
+        let fwd = f.ecmp_hash(self.salt ^ SEQNAT_SALT);
+        let rev = f.reversed().ecmp_hash(self.salt ^ SEQNAT_SALT);
+        (fwd, rev)
+    }
+
+    /// Whether the ack thinner drops this pure ACK. Counts eligible ACKs
+    /// per directed flow and drops every n-th — unless either direction
+    /// of the flow has carried a FIN through this router, in which case
+    /// the close handshake's ACKs must all pass.
+    fn thin_this_ack(&mut self, pkt: &Packet) -> bool {
+        let key = pkt.flow_key();
+        if self.fin_seen.contains(&key) || self.fin_seen.contains(&key.reversed()) {
+            return false;
+        }
+        let c = self.ack_counters.entry(key).or_insert(0);
+        *c += 1;
+        *c % self.ack_thin == 0
+    }
+
+    /// Flush one held segment (by position in the pending list).
+    fn flush_pending(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let (_, held) = self.pending.remove(idx);
+        self.forwarded += 1;
+        ctx.send(held.egress, held.pkt);
+    }
+
+    /// Flush every held segment (coalescer turned off mid-run).
+    fn flush_all_pending(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.pending.is_empty() {
+            self.flush_pending(ctx, 0);
+        }
+    }
+
+    /// Hold an eligible segment for coalescing, or merge it with the one
+    /// already held for its flow. Returns `false` when the segment is not
+    /// coalescible and should be forwarded normally.
+    fn coalesce(&mut self, ctx: &mut Ctx<'_>, egress: IfaceId, pkt: &Packet) -> bool {
+        let p = &pkt.payload[..];
+        let eligible = rewrite::has_no_options(p)
+            && rewrite::tcp_payload_len(p).is_some_and(|l| l > 0)
+            && rewrite::tcp_flags(p).is_some_and(|f| f & 0x06 == 0);
+        if !eligible {
+            return false;
+        }
+        let key = pkt.flow_key();
+        if let Some(idx) = self.pending.iter().position(|(k, _)| *k == key) {
+            let (_, mut held) = self.pending.remove(idx);
+            match rewrite::coalesce_pair(&held.pkt.payload, &pkt.payload) {
+                Some(merged) => {
+                    held.pkt.payload = merged;
+                    self.segments_coalesced += 1;
+                    self.forwarded += 1;
+                    ctx.send(held.egress, held.pkt);
+                    return true;
+                }
+                None => {
+                    // Not contiguous: flush the held segment in order,
+                    // then treat the newcomer as a fresh candidate.
+                    self.forwarded += 1;
+                    ctx.send(held.egress, held.pkt);
+                }
+            }
+        }
+        if rewrite::tcp_flags(p).is_some_and(|f| f & 0x01 != 0) {
+            return false; // never hold a FIN back
+        }
+        let token = self.next_flush_token;
+        self.next_flush_token += 1;
+        self.pending.push((
+            key,
+            PendingSeg {
+                pkt: pkt.clone(),
+                egress,
+                token,
+            },
+        ));
+        ctx.set_timer_after(COALESCE_FLUSH, token);
+        true
+    }
 }
 
 impl Node for Router {
@@ -125,10 +283,27 @@ impl Node for Router {
             return;
         }
         pkt.ttl -= 1;
-        if self.strip_mptcp && pkt.proto == PROTO_TCP {
-            if let Some((cleaned, n)) = strip_mptcp_options(&pkt.payload) {
-                pkt.payload = cleaned;
-                self.options_stripped += n as u64;
+        if pkt.proto == PROTO_TCP {
+            if self.strip_mptcp {
+                if let Some((cleaned, n)) = strip_mptcp_options(&pkt.payload) {
+                    pkt.payload = cleaned;
+                    self.options_stripped += n as u64;
+                }
+            }
+            if self.seq_nat {
+                let (fwd, rev) = self.nat_deltas(&pkt);
+                if let Some(rewritten) = rewrite::rewrite_seq_ack(&pkt.payload, fwd, rev) {
+                    pkt.payload = rewritten;
+                    self.seq_rewritten += 1;
+                }
+            }
+            if self.ack_thin > 0 && rewrite::is_pure_ack(&pkt.payload) && self.thin_this_ack(&pkt) {
+                self.acks_thinned += 1;
+                return;
+            }
+            if self.ack_thin > 0 && rewrite::tcp_flags(&pkt.payload).is_some_and(|f| f & 0x01 != 0)
+            {
+                self.fin_seen.insert(pkt.flow_key());
             }
         }
         match self.select_egress_cached(&pkt) {
@@ -139,6 +314,24 @@ impl Node for Router {
                     self.no_route += 1;
                     return;
                 }
+                if pkt.proto == PROTO_TCP
+                    && self.coalesce_segments
+                    && self.coalesce(ctx, egress, &pkt)
+                {
+                    return;
+                }
+                if pkt.proto == PROTO_TCP && self.split_segments {
+                    if let Some((a, b)) = rewrite::split_segment(&pkt.payload, self.buggy_split) {
+                        self.segments_split += 1;
+                        self.forwarded += 2;
+                        let mut first = pkt.clone();
+                        first.payload = a;
+                        pkt.payload = b;
+                        ctx.send(egress, first);
+                        ctx.send(egress, pkt);
+                        return;
+                    }
+                }
                 self.forwarded += 1;
                 ctx.send(egress, pkt);
             }
@@ -148,9 +341,27 @@ impl Node for Router {
         }
     }
 
-    fn on_command(&mut self, _ctx: &mut Ctx<'_>, cmd: &NodeCommand) {
-        if let NodeCommand::StripMptcp(on) = cmd {
-            self.strip_mptcp = *on;
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        // Coalesce flush timer: forward the held segment it guards, if it
+        // is still held (merges and toggle-flushes leave stale timers).
+        if let Some(idx) = self.pending.iter().position(|(_, h)| h.token == token) {
+            self.flush_pending(ctx, idx);
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_>, cmd: &NodeCommand) {
+        match cmd {
+            NodeCommand::StripMptcp(on) => self.strip_mptcp = *on,
+            NodeCommand::SeqNat(on) => self.seq_nat = *on,
+            NodeCommand::SplitSegments(on) => self.split_segments = *on,
+            NodeCommand::CoalesceSegments(on) => {
+                self.coalesce_segments = *on;
+                if !*on {
+                    self.flush_all_pending(ctx);
+                }
+            }
+            NodeCommand::AckThin(n) => self.ack_thin = *n,
+            NodeCommand::FlushState => {}
         }
     }
 
@@ -312,6 +523,169 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+    }
+
+    /// Stores every packet it receives.
+    struct CollectAll {
+        got: Vec<Packet>,
+    }
+    impl Node for CollectAll {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, pkt: Packet) {
+            self.got.push(pkt);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Emits a list of canned packets at start, back to back.
+    struct SendMany {
+        pkts: Vec<Packet>,
+    }
+    impl Node for SendMany {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let (iface, _) = ctx.my_ifaces().next().unwrap();
+            for pkt in self.pkts.drain(..) {
+                ctx.send(iface, pkt);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: Packet) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Option-free data segment from 10.0.0.1 to 10.1.0.1.
+    fn data_seg(seq: u32, flags: u8, payload: &[u8]) -> Packet {
+        let mut b = vec![0u8; 20];
+        b[0..2].copy_from_slice(&40_000u16.to_be_bytes());
+        b[2..4].copy_from_slice(&80u16.to_be_bytes());
+        b[4..8].copy_from_slice(&seq.to_be_bytes());
+        b[8..12].copy_from_slice(&500u32.to_be_bytes());
+        b[12] = 5 << 4;
+        b[13] = flags;
+        b.extend_from_slice(payload);
+        Packet::tcp(
+            Addr::new(10, 0, 0, 1),
+            Addr::new(10, 1, 0, 1),
+            Bytes::from(b),
+        )
+    }
+
+    /// Drive `pkts` through a router configured by `cfg`; returns what
+    /// came out the far side plus the router for counter inspection.
+    fn forward_through(cfg: impl FnOnce(&mut Router), pkts: Vec<Packet>) -> (Vec<Packet>, Router) {
+        let mut r = Router::new(0);
+        cfg(&mut r);
+        let mut sim = crate::Simulator::new(0);
+        let rid = sim.add_node(Box::new(r));
+        let sink = sim.add_node(Box::new(CollectAll { got: Vec::new() }));
+        let r_in = sim.add_iface(rid, Addr::new(10, 0, 0, 254), "in");
+        let r_out = sim.add_iface(rid, Addr::new(10, 1, 0, 254), "out");
+        let s_if = sim.add_iface(sink, Addr::new(10, 1, 0, 1), "eth0");
+        let src = sim.add_node(Box::new(SendMany { pkts }));
+        let src_if = sim.add_iface(src, Addr::new(10, 0, 0, 1), "eth0");
+        sim.connect(src_if, r_in, crate::link::LinkCfg::mbps_ms(100, 1));
+        sim.connect(r_out, s_if, crate::link::LinkCfg::mbps_ms(100, 1));
+        sim.node_mut(rid)
+            .as_any_mut()
+            .downcast_mut::<Router>()
+            .unwrap()
+            .add_route("10.1.0.0/16".parse().unwrap(), vec![r_out]);
+        sim.run();
+        let got = std::mem::take(
+            &mut sim
+                .node_mut(sink)
+                .as_any_mut()
+                .downcast_mut::<CollectAll>()
+                .unwrap()
+                .got,
+        );
+        let router = sim
+            .node_mut(rid)
+            .as_any_mut()
+            .downcast_mut::<Router>()
+            .unwrap();
+        let router = std::mem::replace(router, Router::new(0));
+        (got, router)
+    }
+
+    #[test]
+    fn splitting_router_halves_data_segments_on_the_path() {
+        let (got, r) = forward_through(
+            |r| r.split_segments = true,
+            vec![data_seg(1000, 0x18, b"abcdefgh")],
+        );
+        assert_eq!(r.segments_split, 1);
+        assert_eq!(got.len(), 2);
+        assert_eq!(&got[0].payload[20..], b"abcd");
+        assert_eq!(&got[1].payload[20..], b"efgh");
+        let seq1 = u32::from_be_bytes(got[1].payload[4..8].try_into().unwrap());
+        assert_eq!(seq1, 1004);
+    }
+
+    #[test]
+    fn coalescing_router_merges_contiguous_segments() {
+        let (got, r) = forward_through(
+            |r| r.coalesce_segments = true,
+            vec![data_seg(1000, 0x10, b"abcd"), data_seg(1004, 0x18, b"efgh")],
+        );
+        assert_eq!(r.segments_coalesced, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].payload[20..], b"abcdefgh");
+    }
+
+    #[test]
+    fn coalescing_router_flushes_a_lone_segment_on_its_timer() {
+        let (got, r) = forward_through(
+            |r| r.coalesce_segments = true,
+            vec![data_seg(1000, 0x10, b"abcd")],
+        );
+        assert_eq!(r.segments_coalesced, 0);
+        assert_eq!(got.len(), 1, "flush timer released the held segment");
+        assert_eq!(&got[0].payload[20..], b"abcd");
+    }
+
+    #[test]
+    fn seq_nat_router_shifts_seq_consistently_per_flow() {
+        let (got, r) = forward_through(
+            |r| r.seq_nat = true,
+            vec![data_seg(1000, 0x10, b"ab"), data_seg(1002, 0x10, b"cd")],
+        );
+        assert_eq!(r.seq_rewritten, 2);
+        let s0 = u32::from_be_bytes(got[0].payload[4..8].try_into().unwrap());
+        let s1 = u32::from_be_bytes(got[1].payload[4..8].try_into().unwrap());
+        assert_ne!(s0, 1000, "ISN shifted");
+        assert_eq!(s1.wrapping_sub(s0), 2, "same delta for the whole flow");
+    }
+
+    #[test]
+    fn ack_thinning_drops_every_nth_but_spares_fin_exchanges() {
+        let pure_ack = || data_seg(2000, 0x10, b"");
+        let (got, r) = forward_through(
+            |r| r.ack_thin = 2,
+            vec![pure_ack(), pure_ack(), pure_ack(), pure_ack()],
+        );
+        assert_eq!(r.acks_thinned, 2, "every 2nd pure ACK dropped");
+        assert_eq!(got.len(), 2);
+        // After a FIN passes, the same flow's ACKs are exempt.
+        let (got, r) = forward_through(
+            |r| r.ack_thin = 2,
+            vec![
+                data_seg(3000, 0x11, b"x"), // FIN|ACK with data
+                pure_ack(),
+                pure_ack(),
+                pure_ack(),
+            ],
+        );
+        assert_eq!(r.acks_thinned, 0, "FIN exchange never thinned");
+        assert_eq!(got.len(), 4);
     }
 
     #[test]
