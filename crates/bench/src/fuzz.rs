@@ -5,7 +5,7 @@
 //! executions against an executable specification (rather than hand-picked
 //! cases), this module derives a complete scenario — topology, link
 //! parameters, path-manager mix, workload, middlebox/rewriter family,
-//! adversarial flood plan and a [`DynamicsScript`] of mid-run churn — from
+//! adversarial flood plan and a [`smapp_sim::DynamicsScript`] of mid-run churn — from
 //! a `u64` seed, runs it with the wire oracle and the end-host taps
 //! enabled, and reports every invariant violation with the replayable
 //! `(scenario="fuzz", seed, time)` triple.
@@ -52,8 +52,8 @@ use smapp_pm::topo::{self, CLIENT_ADDR1, CLIENT_ADDR2, SERVER_ADDR};
 use smapp_pm::{verify, FullMeshPm, Host, NdiffportsPm};
 use smapp_sim::adversary::{FloodCfg, FloodMix, FloodSource};
 use smapp_sim::{
-    Addr, Coverage, DynAction, DynamicsScript, LinkCfg, LinkId, LossModel, NodeCommand, Oracle,
-    Router, RunSummary, SimRng, SimTime, Simulator, StopReason,
+    Addr, Coverage, Dir, InstallPolicy, LinkCfg, LinkId, LossPct, Netem, NetemScript, OneWayDelay,
+    Oracle, QueueLen, RateBps, Router, RunSummary, SimRng, SimTime, Simulator, StopReason,
 };
 
 use crate::pms::BackupFlagPm;
@@ -148,7 +148,8 @@ pub struct FuzzDyn {
     pub action: FuzzAction,
 }
 
-/// Abstract dynamics action (resolved to [`DynAction`] at build time).
+/// Abstract dynamics action (resolved to a typed [`Netem`] clause at
+/// build time).
 #[derive(Clone, Debug)]
 pub enum FuzzAction {
     /// Serialization-rate change, bits/s.
@@ -161,6 +162,13 @@ pub enum FuzzAction {
     Queue(usize),
     /// Link down, back up after the duration.
     FlapDown(Duration),
+    /// Netem-style reordering: hold-back probability and extra delay.
+    Reorder(f64, Duration),
+    /// Netem-style duplication probability.
+    Duplicate(f64),
+    /// Read-only sockdiag snapshot of the client host (ignores the
+    /// entry's `link_idx`; never perturbs the trajectory).
+    Probe,
 }
 
 /// A fully derived (or mutated) fuzz case.
@@ -332,6 +340,31 @@ impl FuzzCase {
         };
         let traffic_on = r.chance(0.3);
         let flows = r.range_u64(1, 5) as u8;
+        // Netem-operator draws appended after every older family (so the
+        // older draw sequence stays frozen): reorder, duplicate, probe.
+        // Always drawn, conditionally applied.
+        let n_links = case.link_cfgs.len() as u64;
+        let reorder_on = r.chance(0.15);
+        let reorder = FuzzDyn {
+            at: SimTime::from_millis(r.range_u64(200, 30_000)),
+            link_idx: r.range_u64(0, n_links) as usize,
+            action: FuzzAction::Reorder(
+                r.range_u64(1, 16) as f64 / 100.0,
+                Duration::from_millis(r.range_u64(1, 31)),
+            ),
+        };
+        let dup_on = r.chance(0.15);
+        let dup = FuzzDyn {
+            at: SimTime::from_millis(r.range_u64(200, 30_000)),
+            link_idx: r.range_u64(0, n_links) as usize,
+            action: FuzzAction::Duplicate(r.range_u64(1, 11) as f64 / 100.0),
+        };
+        let probe_on = r.chance(0.3);
+        let probe = FuzzDyn {
+            at: SimTime::from_millis(r.range_u64(500, 20_000)),
+            link_idx: 0,
+            action: FuzzAction::Probe,
+        };
 
         if case.topo == Topo::TwoPath && case.strip != Strip::MidHandshake {
             case.rewrite = rewrite;
@@ -349,6 +382,19 @@ impl FuzzCase {
         }
         if case.strip != Strip::MidHandshake && traffic_on {
             case.traffic = Some(TrafficPlan { flows });
+        }
+        if case.strip != Strip::MidHandshake {
+            // The pinned §3.7 inference family stays untouched; everyone
+            // else may gain the netem operators.
+            if reorder_on {
+                case.dynamics.push(reorder);
+            }
+            if dup_on {
+                case.dynamics.push(dup);
+            }
+            if probe_on {
+                case.dynamics.push(probe);
+            }
         }
         case
     }
@@ -421,6 +467,12 @@ pub mod feat {
     pub const TRAFFIC_MODEL: u32 = 84;
     /// At least one background flow was a paced stream.
     pub const TRAFFIC_STREAMING: u32 = 85;
+    /// A netem reorder impairment was scheduled.
+    pub const DYN_REORDER: u32 = 86;
+    /// A netem duplicate impairment was scheduled.
+    pub const DYN_DUPLICATE: u32 = 87;
+    /// A scripted sockdiag probe was scheduled.
+    pub const DYN_PROBE: u32 = 88;
 
     /// Run drained to idle.
     pub const STOP_IDLE: u32 = 96;
@@ -459,6 +511,12 @@ pub mod feat {
     /// `i` (0 = graceful FIN, then Timeout, Reset, Refused, NetUnreachable,
     /// IfaceDown, PmRequested).
     pub const CLOSE_REASON_BASE: u32 = 112;
+    /// Some link actually held a packet back (reorder fired).
+    pub const PKTS_REORDERED: u32 = 119;
+    /// Some link actually duplicated a packet at admission.
+    pub const PKTS_DUPLICATED: u32 = 120;
+    /// A scripted sockdiag probe captured at least one live connection.
+    pub const DIAG_CONNS: u32 = 121;
     /// The run violated the oracle (wire- or host-level).
     pub const FAILED: u32 = 126;
 }
@@ -576,7 +634,7 @@ pub fn run_case_opts(case: &FuzzCase, opts: &FuzzOptions) -> CaseOutcome {
     );
 
     // Build the world and the link table the abstract dynamics refer to.
-    let (mut sim, links, router, server_node) = match case.topo {
+    let (mut sim, links, router, client_node, server_node) = match case.topo {
         Topo::TwoPath => {
             let net = topo::two_path(
                 case.seed,
@@ -589,12 +647,13 @@ pub fn run_case_opts(case: &FuzzCase, opts: &FuzzOptions) -> CaseOutcome {
                 net.sim,
                 vec![net.link1, net.link2],
                 Some(net.router),
+                net.client,
                 net.server,
             )
         }
         Topo::Ecmp(_) => {
             let net = topo::ecmp(case.seed, client, server, &case.link_cfgs);
-            (net.sim, net.paths.clone(), None, net.server)
+            (net.sim, net.paths.clone(), None, net.client, net.server)
         }
     };
     sim.core.set_trace(Box::new(Oracle::new()));
@@ -639,22 +698,21 @@ pub fn run_case_opts(case: &FuzzCase, opts: &FuzzOptions) -> CaseOutcome {
         flood_node = Some(fl);
     }
 
-    let mut script = DynamicsScript::new();
+    // The impairment program, in the typed netem grammar. Each abstract
+    // action compiles to the same `DynAction`s in the same positional
+    // order the hand-rolled script used to push, so per-seed trajectories
+    // are unchanged.
+    let mut script = NetemScript::new();
     match (case.strip, router) {
-        (Strip::FromStart, Some(router)) => script.push(
-            SimTime::ZERO,
-            DynAction::Command {
-                node: router,
-                cmd: NodeCommand::StripMptcp(true),
-            },
-        ),
-        (Strip::MidHandshake, Some(router)) => script.push(
-            SimTime::from_millis(MID_STRIP_AT_MS),
-            DynAction::Command {
-                node: router,
-                cmd: NodeCommand::StripMptcp(true),
-            },
-        ),
+        (Strip::FromStart, Some(router)) => {
+            script.add(SimTime::ZERO, Netem::peer(router).strip_mptcp(true));
+        }
+        (Strip::MidHandshake, Some(router)) => {
+            script.add(
+                SimTime::from_millis(MID_STRIP_AT_MS),
+                Netem::peer(router).strip_mptcp(true),
+            );
+        }
         _ => {}
     }
     for (i, d) in case.dynamics.iter().enumerate() {
@@ -665,45 +723,38 @@ pub fn run_case_opts(case: &FuzzCase, opts: &FuzzOptions) -> CaseOutcome {
         }
         let link: LinkId = links[d.link_idx.min(links.len() - 1)];
         match d.action {
-            FuzzAction::Rate(bps) => script.push(
-                d.at,
-                DynAction::SetRate {
-                    link,
-                    dir: None,
-                    rate_bps: bps,
-                },
-            ),
-            FuzzAction::Loss(p) => script.push(
-                d.at,
-                DynAction::SetLoss {
-                    link,
-                    dir: None,
-                    loss: LossModel::Bernoulli(p),
-                },
-            ),
-            FuzzAction::Delay(delay) => script.push(
-                d.at,
-                DynAction::SetDelay {
-                    link,
-                    dir: None,
-                    delay,
-                },
-            ),
-            FuzzAction::Queue(pkts) => script.push(
-                d.at,
-                DynAction::SetQueue {
-                    link,
-                    dir: None,
-                    pkts,
-                },
-            ),
+            FuzzAction::Rate(bps) => {
+                script.add(d.at, Netem::on(link).rate(RateBps::bps(bps)));
+            }
+            FuzzAction::Loss(p) => {
+                script.add(d.at, Netem::on(link).loss(LossPct::ratio(p)));
+            }
+            FuzzAction::Delay(delay) => {
+                script.add(d.at, Netem::on(link).delay(OneWayDelay::from(delay)));
+            }
+            FuzzAction::Queue(pkts) => {
+                script.add(d.at, Netem::on(link).queue(QueueLen::pkts(pkts)));
+            }
             FuzzAction::FlapDown(down_for) => {
-                script.push(d.at, DynAction::LinkAdmin { link, up: false });
-                script.push(d.at + down_for, DynAction::LinkAdmin { link, up: true });
+                script.add(d.at, Netem::on(link).down());
+                script.add(d.at + down_for, Netem::on(link).up());
+            }
+            FuzzAction::Reorder(pct, hold) => {
+                script.add(
+                    d.at,
+                    Netem::on(link).reorder(LossPct::ratio(pct), OneWayDelay::from(hold)),
+                );
+            }
+            FuzzAction::Duplicate(pct) => {
+                script.add(d.at, Netem::on(link).duplicate(LossPct::ratio(pct)));
+            }
+            FuzzAction::Probe => {
+                script.add(d.at, Netem::peer(client_node).probe());
             }
         }
     }
-    sim.install_dynamics(script);
+    sim.install(script, InstallPolicy::Sort)
+        .expect("sort policy never rejects");
 
     let summary = sim.run_until(case.horizon);
     let verdict = verify::conclude(&mut sim, &summary, "fuzz", case.seed);
@@ -734,7 +785,21 @@ pub fn run_case_opts(case: &FuzzCase, opts: &FuzzOptions) -> CaseOutcome {
             FuzzAction::Delay(_) => feat::DYN_DELAY,
             FuzzAction::Queue(_) => feat::DYN_QUEUE,
             FuzzAction::FlapDown(_) => feat::DYN_FLAP,
+            FuzzAction::Reorder(..) => feat::DYN_REORDER,
+            FuzzAction::Duplicate(_) => feat::DYN_DUPLICATE,
+            FuzzAction::Probe => feat::DYN_PROBE,
         });
+    }
+    for &link in &links {
+        for dir in [Dir::AtoB, Dir::BtoA] {
+            let s = sim.core.link_stats(link, dir);
+            if s.reordered > 0 {
+                cov.set(feat::PKTS_REORDERED);
+            }
+            if s.duplicated > 0 {
+                cov.set(feat::PKTS_DUPLICATED);
+            }
+        }
     }
     match case.rewrite {
         Rewrite::Off => {}
@@ -803,6 +868,13 @@ pub fn run_case_opts(case: &FuzzCase, opts: &FuzzOptions) -> CaseOutcome {
         let Some(host) = sim.node(id).as_any().downcast_ref::<Host>() else {
             continue;
         };
+        let probed_conns = host.diag.replies.iter().any(|frame| {
+            matches!(smapp_netlink::decode(frame),
+                     Ok(smapp_netlink::PmNlMessage::DiagReply { conns, .. }) if !conns.is_empty())
+        });
+        if probed_conns {
+            cov.set(feat::DIAG_CONNS);
+        }
         for conn in host.stack.connections() {
             if conn.stats.fallback_inferred {
                 cov.set(feat::FALLBACK_INFERRED);
@@ -903,21 +975,20 @@ pub fn shrink(seed: u64, opts: &FuzzOptions) -> Option<Shrunk> {
 }
 
 /// Render a case's strip toggle plus the `kept` dynamics entries as a
-/// copy-pasteable Rust `DynamicsScript` snippet — exactly what
+/// copy-pasteable Rust [`NetemScript`] snippet — exactly what
 /// [`run_case_opts`] installs, so a failure report can be replayed in a
 /// hand-written test without re-deriving anything. `links[i]` / `router`
-/// refer to the scenario topology's handles in case order.
+/// / `client` refer to the scenario topology's handles in case order.
 pub fn dynamics_snippet(case: &FuzzCase, kept: &[usize]) -> String {
-    let mut s = String::from("let mut script = DynamicsScript::new();\n");
+    let mut s = String::from("let mut script = NetemScript::new();\n");
     match case.strip {
         Strip::Off => {}
-        Strip::FromStart => s.push_str(
-            "script.push(SimTime::ZERO, DynAction::Command { node: router, \
-             cmd: NodeCommand::StripMptcp(true) });\n",
-        ),
+        Strip::FromStart => {
+            s.push_str("script.add(SimTime::ZERO, Netem::peer(router).strip_mptcp(true));\n")
+        }
         Strip::MidHandshake => s.push_str(&format!(
-            "script.push(SimTime::from_millis({MID_STRIP_AT_MS}), DynAction::Command {{ \
-             node: router, cmd: NodeCommand::StripMptcp(true) }});\n"
+            "script.add(SimTime::from_millis({MID_STRIP_AT_MS}), \
+             Netem::peer(router).strip_mptcp(true));\n"
         )),
     }
     for &i in kept {
@@ -928,36 +999,46 @@ pub fn dynamics_snippet(case: &FuzzCase, kept: &[usize]) -> String {
         let link = format!("links[{}]", d.link_idx);
         match d.action {
             FuzzAction::Rate(bps) => s.push_str(&format!(
-                "script.push(SimTime::from_millis({at}), DynAction::SetRate {{ \
-                 link: {link}, dir: None, rate_bps: {bps} }});\n"
+                "script.add(SimTime::from_millis({at}), \
+                 Netem::on({link}).rate(RateBps::bps({bps})));\n"
             )),
             FuzzAction::Loss(p) => s.push_str(&format!(
-                "script.push(SimTime::from_millis({at}), DynAction::SetLoss {{ \
-                 link: {link}, dir: None, loss: LossModel::Bernoulli({p:?}) }});\n"
+                "script.add(SimTime::from_millis({at}), \
+                 Netem::on({link}).loss(LossPct::ratio({p:?})));\n"
             )),
             FuzzAction::Delay(delay) => s.push_str(&format!(
-                "script.push(SimTime::from_millis({at}), DynAction::SetDelay {{ \
-                 link: {link}, dir: None, delay: Duration::from_millis({}) }});\n",
+                "script.add(SimTime::from_millis({at}), \
+                 Netem::on({link}).delay(OneWayDelay::ms({})));\n",
                 delay.as_millis()
             )),
             FuzzAction::Queue(pkts) => s.push_str(&format!(
-                "script.push(SimTime::from_millis({at}), DynAction::SetQueue {{ \
-                 link: {link}, dir: None, pkts: {pkts} }});\n"
+                "script.add(SimTime::from_millis({at}), \
+                 Netem::on({link}).queue(QueueLen::pkts({pkts})));\n"
             )),
             FuzzAction::FlapDown(down_for) => {
                 s.push_str(&format!(
-                    "script.push(SimTime::from_millis({at}), DynAction::LinkAdmin {{ \
-                     link: {link}, up: false }});\n"
+                    "script.add(SimTime::from_millis({at}), Netem::on({link}).down());\n"
                 ));
                 s.push_str(&format!(
-                    "script.push(SimTime::from_millis({}), DynAction::LinkAdmin {{ \
-                     link: {link}, up: true }});\n",
+                    "script.add(SimTime::from_millis({}), Netem::on({link}).up());\n",
                     at + down_for.as_millis() as u64
                 ));
             }
+            FuzzAction::Reorder(pct, hold) => s.push_str(&format!(
+                "script.add(SimTime::from_millis({at}), \
+                 Netem::on({link}).reorder(LossPct::ratio({pct:?}), OneWayDelay::ms({})));\n",
+                hold.as_millis()
+            )),
+            FuzzAction::Duplicate(pct) => s.push_str(&format!(
+                "script.add(SimTime::from_millis({at}), \
+                 Netem::on({link}).duplicate(LossPct::ratio({pct:?})));\n"
+            )),
+            FuzzAction::Probe => s.push_str(&format!(
+                "script.add(SimTime::from_millis({at}), Netem::peer(client).probe());\n"
+            )),
         }
     }
-    s.push_str("sim.install_dynamics(script);\n");
+    s.push_str("sim.install(script, InstallPolicy::Sort).unwrap();\n");
     s
 }
 
@@ -1203,11 +1284,17 @@ fn random_link(r: &mut SimRng) -> LinkCfg {
 fn random_dyn(r: &mut SimRng, n_links: usize) -> FuzzDyn {
     let at = SimTime::from_millis(r.range_u64(200, 30_000));
     let link_idx = r.range_u64(0, n_links as u64) as usize;
-    let action = match r.range_u64(0, 5) {
+    let action = match r.range_u64(0, 8) {
         0 => FuzzAction::Rate(r.range_u64(500_000, 20_000_001)),
         1 => FuzzAction::Loss(r.range_u64(0, 26) as f64 / 100.0),
         2 => FuzzAction::Delay(Duration::from_millis(r.range_u64(1, 61))),
         3 => FuzzAction::Queue(r.range_u64(8, 129) as usize),
+        4 => FuzzAction::Reorder(
+            r.range_u64(1, 16) as f64 / 100.0,
+            Duration::from_millis(r.range_u64(1, 31)),
+        ),
+        5 => FuzzAction::Duplicate(r.range_u64(1, 11) as f64 / 100.0),
+        6 => FuzzAction::Probe,
         _ => FuzzAction::FlapDown(Duration::from_millis(r.range_u64(100, 2_001))),
     };
     FuzzDyn {
@@ -1353,7 +1440,27 @@ mod tests {
             // upgraded Off → FromStart by the split/coalesce rule).
             assert_eq!(v1.pm, v2.pm, "seed {seed}");
             assert_eq!(v1.transfer, v2.transfer, "seed {seed}");
-            assert_eq!(v1.dynamics.len(), v2.dynamics.len(), "seed {seed}");
+            // v2 may append netem operators (reorder/duplicate/probe)
+            // after the shared prefix, never inside it.
+            assert!(v2.dynamics.len() >= v1.dynamics.len(), "seed {seed}");
+            for (a, b) in v1.dynamics.iter().zip(&v2.dynamics) {
+                assert_eq!(a.at, b.at, "seed {seed}");
+                assert_eq!(a.link_idx, b.link_idx, "seed {seed}");
+                assert_eq!(
+                    std::mem::discriminant(&a.action),
+                    std::mem::discriminant(&b.action),
+                    "seed {seed}"
+                );
+            }
+            for extra in &v2.dynamics[v1.dynamics.len()..] {
+                assert!(
+                    matches!(
+                        extra.action,
+                        FuzzAction::Reorder(..) | FuzzAction::Duplicate(_) | FuzzAction::Probe
+                    ),
+                    "seed {seed}: appended entry must be a netem operator"
+                );
+            }
             assert!(
                 v1.strip == v2.strip || (v1.strip == Strip::Off && v2.strip == Strip::FromStart),
                 "seed {seed}: {:?} vs {:?}",
@@ -1745,18 +1852,58 @@ mod tests {
             horizon: SimTime::from_secs(60),
         };
         let s = dynamics_snippet(&case, &[1]);
-        assert!(s.starts_with("let mut script = DynamicsScript::new();\n"));
-        assert!(s.contains("NodeCommand::StripMptcp(true)"), "{s}");
+        assert!(s.starts_with("let mut script = NetemScript::new();\n"));
+        assert!(s.contains("Netem::peer(router).strip_mptcp(true)"), "{s}");
         // Only the kept entry is rendered.
-        assert!(!s.contains("Bernoulli"), "{s}");
-        assert!(s.contains(
-            "script.push(SimTime::from_millis(900), DynAction::LinkAdmin { \
-             link: links[0], up: false });"
-        ));
-        assert!(s.contains(
-            "script.push(SimTime::from_millis(1200), DynAction::LinkAdmin { \
-             link: links[0], up: true });"
-        ));
-        assert!(s.ends_with("sim.install_dynamics(script);\n"));
+        assert!(!s.contains("loss"), "{s}");
+        assert!(s.contains("script.add(SimTime::from_millis(900), Netem::on(links[0]).down());"));
+        assert!(s.contains("script.add(SimTime::from_millis(1200), Netem::on(links[0]).up());"));
+        assert!(s.ends_with("sim.install(script, InstallPolicy::Sort).unwrap();\n"));
+    }
+
+    #[test]
+    fn snippet_renders_the_netem_operators() {
+        let case = FuzzCase {
+            seed: 1,
+            topo: Topo::TwoPath,
+            link_cfgs: vec![LinkCfg::mbps_ms(5, 10), LinkCfg::mbps_ms(5, 10)],
+            pm: PmMix::Noop,
+            transfer: 10_000,
+            strip: Strip::Off,
+            rewrite: Rewrite::Off,
+            flood: None,
+            traffic: None,
+            dynamics: vec![
+                FuzzDyn {
+                    at: SimTime::from_millis(400),
+                    link_idx: 0,
+                    action: FuzzAction::Reorder(0.1, Duration::from_millis(5)),
+                },
+                FuzzDyn {
+                    at: SimTime::from_millis(600),
+                    link_idx: 1,
+                    action: FuzzAction::Duplicate(0.02),
+                },
+                FuzzDyn {
+                    at: SimTime::from_millis(800),
+                    link_idx: 0,
+                    action: FuzzAction::Probe,
+                },
+            ],
+            horizon: SimTime::from_secs(60),
+        };
+        let s = dynamics_snippet(&case, &[0, 1, 2]);
+        assert!(
+            s.contains("Netem::on(links[0]).reorder(LossPct::ratio(0.1), OneWayDelay::ms(5))"),
+            "{s}"
+        );
+        assert!(
+            s.contains("Netem::on(links[1]).duplicate(LossPct::ratio(0.02))"),
+            "{s}"
+        );
+        assert!(
+            s.contains("script.add(SimTime::from_millis(800), Netem::peer(client).probe());"),
+            "{s}"
+        );
     }
 }

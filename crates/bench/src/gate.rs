@@ -14,7 +14,7 @@
 //!   ([`SMOKE_BASELINE_EVENTS_PER_SEC`]). CI runners vary wildly, so the
 //!   default threshold only catches order-of-magnitude collapses
 //!   (accidental debug builds, quadratic regressions), not percent-level
-//!   noise — the honest perf numbers live in `BENCH_PR4.json`.
+//!   noise — the honest perf numbers live in `BENCH_PR9.json`.
 //! * Every scenario registered in [`crate::scenarios::ALL`] must appear in
 //!   the report — a new scenario cannot silently skip benchmarking.
 //! * The generated-scenario fuzz corpus must have run with **zero**
@@ -24,6 +24,10 @@
 //!   **strictly exceed** the recorded dynamics-only baseline
 //!   (`baseline_coverage_bits`) — the adversarial middleboxes and the
 //!   traffic mix cannot silently stop contributing behavior.
+//! * The fleet's sockdiag sweep must have run (`diag.probes > 0`) and its
+//!   overhead must stay at **at most one calendar event per probe**
+//!   (`extra_events <= probes`): probes are read-only by contract, so any
+//!   additional event means introspection perturbed the trajectory.
 //!
 //! The parser is deliberately tiny and hand-rolled (the workspace carries
 //! no serde): it only reads the flat `"key": value` shapes `perf_report`
@@ -58,6 +62,10 @@ pub struct GateReport {
     pub fuzz_coverage_bits: Option<u64>,
     /// The dynamics-only coverage floor recorded alongside it.
     pub fuzz_baseline_bits: Option<u64>,
+    /// The fleet's sockdiag probe count (`None` = missing section).
+    pub diag_probes: Option<u64>,
+    /// Calendar events the probed fleet run cost beyond an unprobed one.
+    pub diag_extra_events: Option<u64>,
     /// Aggregate events/sec over all scenario rows.
     pub events_per_sec: f64,
     /// Human-readable failed invariants; empty = gate passes.
@@ -202,6 +210,32 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
         ),
     }
 
+    // Sockdiag plane: the sweep must have run, and since probes are
+    // read-only its whole cost is the probe calendar events themselves.
+    let diag_probes = raw_value(json, "probes").and_then(|v| v.parse::<u64>().ok());
+    let diag_extra_events = raw_value(json, "extra_events").and_then(|v| v.parse::<u64>().ok());
+    match (diag_probes, diag_extra_events) {
+        (Some(0), _) => failures.push(
+            "diag section reports zero sockdiag probes — the fleet's \
+             introspection sweep silently stopped running"
+                .to_string(),
+        ),
+        (Some(probes), Some(extra)) => {
+            if extra > probes {
+                failures.push(format!(
+                    "sockdiag overhead is {extra} extra events for {probes} \
+                     probes — probes must cost at most one calendar event \
+                     each and perturb nothing"
+                ));
+            }
+        }
+        _ => failures.push(
+            "report carries no diag probes/extra_events — sockdiag probe \
+             overhead was not measured"
+                .to_string(),
+        ),
+    }
+
     let floor = SMOKE_BASELINE_EVENTS_PER_SEC * min_ratio;
     if events_per_sec < floor {
         failures.push(format!(
@@ -218,6 +252,8 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
         fuzz_violations,
         fuzz_coverage_bits,
         fuzz_baseline_bits,
+        diag_probes,
+        diag_extra_events,
         events_per_sec,
         failures,
     }
@@ -248,6 +284,10 @@ mod tests {
         s.push_str(
             "  \"fuzz\": {\"cases\": 4, \"violations\": 0, \"coverage_bits\": 54, \
              \"baseline_coverage_bits\": 40},\n",
+        );
+        s.push_str(
+            "  \"diag\": {\"probes\": 120, \"conns\": 110, \"subflows\": 200, \
+             \"extra_events\": 120},\n",
         );
         s.push_str(&format!("  \"fig2c_trajectory_parity\": {fig2c}\n"));
         s.push_str("}\n");
@@ -346,6 +386,38 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("coverage floor was not measured")));
+    }
+
+    #[test]
+    fn diag_overhead_and_missing_section_fail() {
+        // Healthy sample: extra_events == probes passes (checked by
+        // healthy_report_passes). One event too many fails.
+        let heavy = sample("true", "null", 10_000_000)
+            .replace("\"extra_events\": 120", "\"extra_events\": 121");
+        let r = check(&heavy, DEFAULT_MIN_RATIO);
+        assert_eq!(r.diag_probes, Some(120));
+        assert_eq!(r.diag_extra_events, Some(121));
+        assert!(r.failures.iter().any(|f| f.contains("sockdiag overhead")));
+
+        let silent = sample("true", "null", 10_000_000).replace("\"probes\": 120", "\"probes\": 0");
+        let r = check(&silent, DEFAULT_MIN_RATIO);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("zero sockdiag probes")));
+
+        let sample_diag_line = sample("true", "null", 10_000_000)
+            .lines()
+            .find(|l| l.contains("\"diag\":"))
+            .expect("sample carries a diag line")
+            .to_string();
+        let gone = sample("true", "null", 10_000_000).replace(&format!("{sample_diag_line}\n"), "");
+        let r = check(&gone, DEFAULT_MIN_RATIO);
+        assert_eq!(r.diag_probes, None);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("overhead was not measured")));
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! matrix — every paper artifact above plus the beyond-paper workloads —
 //! through the deterministic multi-core [`sweep`] engine (`--jobs N`),
 //! measures wall time, events/sec, peak event-queue depth and
-//! allocations/event ([`count_alloc`]), writes `BENCH_PR4.json`, and
+//! allocations/event ([`count_alloc`]), writes `BENCH_PR9.json`, and
 //! verifies both that parallel execution reproduces the sequential
 //! trajectories bit-for-bit and that the fig2c per-seed trajectory is
 //! identical to the recorded `524cdc6` baseline. The `perf_gate` binary

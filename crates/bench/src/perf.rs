@@ -253,15 +253,7 @@ pub fn paper_matrix(smoke: bool) -> Matrix {
     );
 
     // fleet — the many-client workload (queue depths far beyond fig3).
-    let pf = if smoke {
-        fleet::Params {
-            clients: 60,
-            response: 32 * 1024,
-            ..Default::default()
-        }
-    } else {
-        fleet::Params::default()
-    };
+    let pf = fleet_params(smoke);
     let workload = format!(
         "{} clients x {} GET(s) of {} B, {} ECMP bottleneck paths, mixed kernel/refresh",
         pf.clients,
@@ -275,12 +267,17 @@ pub fn paper_matrix(smoke: bool) -> Matrix {
             ScenarioRun {
                 summary,
                 trajectory: format!(
-                    "completed={}/{} clients_done={} last_ns={} digest={:016x}",
+                    "completed={}/{} clients_done={} last_ns={} digest={:016x} \
+                     diag=p{}/c{}/s{} ddigest={:016x}",
                     stats.completed,
                     stats.expected,
                     stats.clients_done,
                     stats.last_completion_ns,
-                    stats.completions_digest
+                    stats.completions_digest,
+                    stats.diag_probes,
+                    stats.diag_conns,
+                    stats.diag_subflows,
+                    stats.diag_digest
                 ),
             }
         })
@@ -440,6 +437,41 @@ pub fn paper_matrix(smoke: bool) -> Matrix {
     Matrix { entries }
 }
 
+/// Fleet parameters of the matrix row (shared with the diag-probe
+/// overhead measurement in [`run_all`]).
+fn fleet_params(smoke: bool) -> fleet::Params {
+    if smoke {
+        fleet::Params {
+            clients: 60,
+            response: 32 * 1024,
+            ..Default::default()
+        }
+    } else {
+        fleet::Params::default()
+    }
+}
+
+/// Parse the `diag=p{probes}/c{conns}/s{subflows}` token of the fleet
+/// row's trajectory. A missing or unparseable token reads as zeros — the
+/// gate then fails on `probes == 0` rather than silently passing.
+fn fleet_diag_in(trajectory: &str) -> (u64, u64, u64) {
+    let Some(tok) = trajectory
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("diag="))
+    else {
+        return (0, 0, 0);
+    };
+    let mut parts = tok.split('/');
+    let mut next = |prefix: char| {
+        parts
+            .next()
+            .and_then(|s| s.strip_prefix(prefix))
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    (next('p'), next('c'), next('s'))
+}
+
 /// Parse the `viol=N` prefix a fuzz-row trajectory starts with. An
 /// unparseable row (format drift between the matrix closure and this
 /// parser) counts as one violation so the gate fails loudly instead of
@@ -513,6 +545,17 @@ pub struct PerfReport {
     /// The same union under the frozen PR-5 derivation (dynamics only) —
     /// the floor the current corpus must strictly beat.
     pub fuzz_baseline_bits: u32,
+    /// Sockdiag probes the fleet's scripted sweep answered.
+    pub diag_probes: u64,
+    /// Connections reported across the fleet's sockdiag replies.
+    pub diag_conns: u64,
+    /// Subflow RTT/cwnd snapshots across the fleet's sockdiag replies.
+    pub diag_subflows: u64,
+    /// Calendar events the probed fleet run processed beyond an unprobed
+    /// run of the same seed — the whole cost of the introspection plane.
+    /// Probes are read-only, so this is exactly one event per probe on a
+    /// healthy build (the gate enforces `extra_events <= probes`).
+    pub diag_extra_events: u64,
     /// fig2c single-thread speedup over [`FIG2C_BASELINE`] (full mode only).
     pub fig2c_speedup: Option<f64>,
     /// fig2c single-thread events/sec relative to the PR-2 figure
@@ -634,6 +677,25 @@ pub fn run_all(smoke: bool, jobs: usize) -> PerfReport {
         .max()
         .unwrap_or(0);
 
+    // Sockdiag plane: counters from the fleet row, plus the probe
+    // overhead measured as extra calendar events vs an unprobed rerun of
+    // the same seed (probes are read-only, so the protocol trajectory is
+    // identical and the difference is purely the probe events).
+    let fleet_row = seq.iter().find(|r| r.scenario == "fleet");
+    let (diag_probes, diag_conns, diag_subflows) = fleet_row
+        .map(|r| fleet_diag_in(&r.run.trajectory))
+        .unwrap_or((0, 0, 0));
+    let diag_extra_events = fleet_row
+        .map(|r| {
+            let unprobed = fleet::Params {
+                probe_after: None,
+                ..fleet_params(smoke)
+            };
+            let (summary, _) = fleet::run_instrumented(&unprobed, r.seed);
+            r.run.summary.events.saturating_sub(summary.events)
+        })
+        .unwrap_or(0);
+
     let fuzz_rows: Vec<&SweepResult> = seq.iter().filter(|r| r.scenario == "fuzz").collect();
     let fuzz_cases = fuzz_rows.len();
     let fuzz_violations = fuzz_rows
@@ -669,6 +731,10 @@ pub fn run_all(smoke: bool, jobs: usize) -> PerfReport {
         fuzz_violations,
         fuzz_coverage_bits: cov.count(),
         fuzz_baseline_bits: base_cov.count(),
+        diag_probes,
+        diag_conns,
+        diag_subflows,
+        diag_extra_events,
         fig2c_speedup,
         fig2c_vs_pr2,
         fig2c_parity,
@@ -734,6 +800,11 @@ impl PerfReport {
              \"baseline_coverage_bits\": {}}},\n",
             self.fuzz_cases, self.fuzz_violations, self.fuzz_coverage_bits, self.fuzz_baseline_bits
         ));
+        s.push_str(&format!(
+            "  \"diag\": {{\"probes\": {}, \"conns\": {}, \"subflows\": {}, \
+             \"extra_events\": {}}},\n",
+            self.diag_probes, self.diag_conns, self.diag_subflows, self.diag_extra_events
+        ));
         match self.fig2c_speedup {
             Some(x) => s.push_str(&format!("  \"fig2c_speedup_vs_baseline\": {x:.3},\n")),
             None => s.push_str("  \"fig2c_speedup_vs_baseline\": null,\n"),
@@ -792,6 +863,11 @@ impl PerfReport {
             "fuzz: {} generated cases, {} oracle violation(s), \
              {} feature bits (dynamics-only baseline {})\n",
             self.fuzz_cases, self.fuzz_violations, self.fuzz_coverage_bits, self.fuzz_baseline_bits
+        ));
+        s.push_str(&format!(
+            "diag: {} probes -> {} conns / {} subflow snapshots, \
+             +{} events vs unprobed run\n",
+            self.diag_probes, self.diag_conns, self.diag_subflows, self.diag_extra_events
         ));
         if let Some(x) = self.fig2c_speedup {
             s.push_str(&format!(
@@ -858,6 +934,14 @@ mod tests {
             r.fuzz_coverage_bits,
             r.fuzz_baseline_bits
         );
+        // The sockdiag sweep ran over the fleet row and cost exactly one
+        // calendar event per probe (probes are read-only).
+        assert_eq!(r.diag_probes, 120, "two probes per smoke-fleet client");
+        assert!(r.diag_conns > 0 && r.diag_subflows > 0, "dumps carry state");
+        assert_eq!(
+            r.diag_extra_events, r.diag_probes,
+            "probe overhead is one calendar event per probe, nothing else"
+        );
         let json = r.to_json();
         assert!(json.contains("\"fig2c_trajectory_parity\": null"));
         assert!(json.contains("\"parallel_parity\": true"));
@@ -866,6 +950,11 @@ mod tests {
             "\"fuzz\": {{\"cases\": 4, \"violations\": 0, \"coverage_bits\": {}, \
              \"baseline_coverage_bits\": {}}}",
             r.fuzz_coverage_bits, r.fuzz_baseline_bits
+        )));
+        assert!(json.contains(&format!(
+            "\"diag\": {{\"probes\": {}, \"conns\": {}, \"subflows\": {}, \
+             \"extra_events\": {}}}",
+            r.diag_probes, r.diag_conns, r.diag_subflows, r.diag_extra_events
         )));
         // Crude structural check: braces balance.
         assert_eq!(

@@ -2,7 +2,7 @@
 //! dynamics engine, routed around by the §4.4 refresh controller.
 //!
 //! The §4.4 fabric (four parallel paths behind flow-hashing routers), but
-//! one path now *flaps*: a [`smapp_sim::DynamicsScript`] takes the whole
+//! one path now *flaps*: a [`smapp_sim::NetemScript`] takes the whole
 //! link administratively down and back up on a fixed period — a carrier
 //! losing and regaining light, invisible to the routers' ECMP hash, which
 //! keeps assigning flows onto the dead path. The refresh controller's
@@ -20,7 +20,7 @@ use smapp_mptcp::StackConfig;
 use smapp_netlink::LatencyModel;
 use smapp_pm::topo::{self, SERVER_ADDR};
 use smapp_pm::Host;
-use smapp_sim::{DynAction, DynamicsScript, LinkCfg, SimTime};
+use smapp_sim::{InstallPolicy, LinkCfg, Netem, NetemScript, SimTime};
 
 /// Parameters of one flap run.
 #[derive(Debug, Clone)]
@@ -117,25 +117,13 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     // Flap the first (fastest) bottleneck path: down for `down_for` every
     // `period`, `flaps` times.
     let victim = net.paths[0];
-    let mut script = DynamicsScript::new();
+    let mut script = NetemScript::new();
     for k in 0..p.flaps {
         let down_at = p.first_down + p.period * k;
-        script.push(
-            down_at,
-            DynAction::LinkAdmin {
-                link: victim,
-                up: false,
-            },
-        );
-        script.push(
-            down_at + p.down_for,
-            DynAction::LinkAdmin {
-                link: victim,
-                up: true,
-            },
-        );
+        script.add(down_at, Netem::on(victim).down());
+        script.add(down_at + p.down_for, Netem::on(victim).up());
     }
-    sim.install_dynamics(script);
+    sim.install(script, InstallPolicy::Sort).unwrap();
 
     let summary = sim.run_until(p.horizon);
     smapp_pm::verify::conclude(&mut sim, &summary, "flap", p.seed).expect_clean();

@@ -22,11 +22,13 @@ use std::time::Duration;
 
 use smapp::{ControllerRuntime, RefreshConfig, RefreshController};
 use smapp_mptcp::apps::{GetClient, GetProgress, GetServer};
-use smapp_mptcp::StackConfig;
-use smapp_netlink::LatencyModel;
-use smapp_pm::topo::SERVER_ADDR;
+use smapp_mptcp::{ConnState, StackConfig};
+use smapp_netlink::{decode, LatencyModel, PmNlMessage};
+use smapp_pm::topo::{self, SERVER_ADDR};
 use smapp_pm::{Host, NdiffportsPm};
-use smapp_sim::{Addr, AddrPrefix, LinkCfg, Router, SimTime, Simulator};
+use smapp_sim::{
+    Addr, AddrPrefix, InstallPolicy, LinkCfg, Netem, NetemScript, Router, SimTime, Simulator,
+};
 
 use crate::sweep::fnv1a;
 
@@ -49,6 +51,11 @@ pub struct Params {
     pub paths: Vec<LinkCfg>,
     /// Per-client access link.
     pub access: LinkCfg,
+    /// Sockdiag probe delay after each client's connect instant: every
+    /// client is probed mid-transfer at `connect + probe_after` and again
+    /// fleet-wide at 500 ms. `None` disables probing (probes are strictly
+    /// read-only, so trajectories are identical either way).
+    pub probe_after: Option<Duration>,
     /// Simulation horizon (the run normally drains and stops earlier).
     pub horizon: SimTime,
 }
@@ -70,6 +77,7 @@ impl Default for Params {
                 LinkCfg::mbps_ms(50, 20),
             ],
             access: LinkCfg::mbps_ms(100, 2),
+            probe_after: Some(Duration::from_millis(40)),
             horizon: SimTime::from_secs(120),
         }
     }
@@ -102,6 +110,18 @@ pub struct FleetStats {
     /// order, nanosecond precision) — the byte-parity fingerprint of the
     /// whole fleet trajectory.
     pub completions_digest: u64,
+    /// Sockdiag probes answered across the fleet.
+    pub diag_probes: u64,
+    /// Connections reported across all sockdiag replies.
+    pub diag_conns: u64,
+    /// Subflow snapshots (with RTT/cwnd) across all sockdiag replies.
+    pub diag_subflows: u64,
+    /// Connections caught live mid-transfer: established, with at least
+    /// one subflow reporting a nonzero cwnd and a sampled RTT.
+    pub diag_live: u64,
+    /// FNV-1a digest over the raw encoded sockdiag reply frames of every
+    /// client, in client order — byte parity for the introspection plane.
+    pub diag_digest: u64,
 }
 
 /// Run one seed; returns the simulator summary plus fleet statistics.
@@ -140,6 +160,7 @@ pub fn run_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, FleetS
     // Clients: even indices run the in-kernel ndiffports PM, odd indices
     // the userspace refresh controller — the fleet is heterogeneous.
     let mut progress: Vec<Rc<RefCell<GetProgress>>> = Vec::with_capacity(p.clients);
+    let mut client_ids: Vec<smapp_sim::NodeId> = Vec::with_capacity(p.clients);
     let mut client_routes: Vec<(AddrPrefix, smapp_sim::IfaceId)> = Vec::with_capacity(p.clients);
     for i in 0..p.clients {
         let mut client = if i % 2 == 0 {
@@ -173,6 +194,7 @@ pub fn run_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, FleetS
 
         let addr = client_addr(i);
         let client_id = sim.add_node(Box::new(client));
+        client_ids.push(client_id);
         let c_if = sim.add_iface(client_id, addr, "eth0");
         let r_if = sim.add_iface(
             r1_id,
@@ -203,6 +225,20 @@ pub fn run_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, FleetS
         r2.add_route("10.0.9.0/24".parse().unwrap(), vec![r2_s]);
         // Return traffic to every client funnels back over the bottleneck.
         r2.add_route("10.0.0.0/8".parse().unwrap(), r2_ups);
+    }
+
+    // Sockdiag sweep: probe every client mid-transfer (shortly after its
+    // own staggered connect) and once more fleet-wide at 500 ms. Probes
+    // are strictly read-only — no RNG draws, no sends — so a probed run's
+    // trajectory is bit-identical to an unprobed one.
+    if let Some(after) = p.probe_after {
+        let mut script = NetemScript::new();
+        for (i, &id) in client_ids.iter().enumerate() {
+            let connect = SimTime::from_millis(10) + p.stagger * i as u32;
+            script.add(connect + after, Netem::peer(id).probe());
+            script.add(SimTime::from_millis(500), Netem::peer(id).probe());
+        }
+        sim.install(script, InstallPolicy::Sort).unwrap();
     }
 
     // Watchdog: the refresh controllers re-arm their poll timers for as
@@ -244,12 +280,44 @@ pub fn run_instrumented(p: &Params, seed: u64) -> (smapp_sim::RunSummary, FleetS
         // Client delimiter keeps (a,bc) and (ab,c) distributions distinct.
         digest_bytes.push(0xFF);
     }
+    // Fold the sockdiag plane into the stats: decode every stored reply
+    // frame (exercising the full netlink wire path) and fingerprint the
+    // raw bytes for per-seed parity.
+    let mut diag_probes = 0u64;
+    let mut diag_conns = 0u64;
+    let mut diag_subflows = 0u64;
+    let mut diag_live = 0u64;
+    let mut diag_bytes: Vec<u8> = Vec::new();
+    for &id in &client_ids {
+        let host = topo::host(&sim, id);
+        diag_probes += host.diag.probes;
+        for frame in &host.diag.replies {
+            diag_bytes.extend_from_slice(frame);
+            let Ok(PmNlMessage::DiagReply { conns, .. }) = decode(frame) else {
+                panic!("stored probe reply must decode as a diag reply");
+            };
+            for c in &conns {
+                diag_conns += 1;
+                diag_subflows += c.subflows.len() as u64;
+                if c.state == ConnState::Established
+                    && c.subflows.iter().any(|(_, i)| i.cwnd > 0 && i.srtt_us > 0)
+                {
+                    diag_live += 1;
+                }
+            }
+        }
+    }
     let stats = FleetStats {
         expected,
         completed,
         clients_done,
         last_completion_ns: last_ns,
         completions_digest: fnv1a(&digest_bytes),
+        diag_probes,
+        diag_conns,
+        diag_subflows,
+        diag_live,
+        diag_digest: fnv1a(&diag_bytes),
     };
     (summary, stats)
 }
@@ -290,8 +358,19 @@ mod tests {
             s1.peak_queue,
             p.clients
         );
+        // The sockdiag sweep answered every scripted probe (two per
+        // client) and caught real mid-run state: connections with subflow
+        // RTT/cwnd snapshots, at least one of them live mid-transfer.
+        assert_eq!(f1.diag_probes, 2 * p.clients as u64);
+        assert!(f1.diag_conns > 0, "dumps report connections: {f1:?}");
+        assert!(f1.diag_subflows > 0, "dumps report subflows: {f1:?}");
+        assert!(
+            f1.diag_live > 0,
+            "a mid-transfer probe sees established conns with cwnd/RTT: {f1:?}"
+        );
         // Same seed ⇒ bit-identical trajectory (digest covers every
-        // completion instant of every client).
+        // completion instant of every client), including the encoded
+        // sockdiag reply bytes.
         let (s2, f2) = run_instrumented(&p, 3);
         assert_eq!(f1, f2);
         assert_eq!(s1.events, s2.events);
@@ -299,5 +378,21 @@ mod tests {
         // Different seed ⇒ different micro-trajectory.
         let (_, f3) = run_instrumented(&p, 4);
         assert_ne!(f1.completions_digest, f3.completions_digest);
+    }
+
+    #[test]
+    fn probes_are_invisible_to_the_trajectory() {
+        // A probed run and an unprobed run of the same seed must agree on
+        // every completion instant: sockdiag is a pure observer.
+        let p = small();
+        let (_, probed) = run_instrumented(&p, 9);
+        let unprobed_p = Params {
+            probe_after: None,
+            ..small()
+        };
+        let (_, unprobed) = run_instrumented(&unprobed_p, 9);
+        assert!(probed.diag_probes > 0 && unprobed.diag_probes == 0);
+        assert_eq!(probed.completions_digest, unprobed.completions_digest);
+        assert_eq!(probed.last_completion_ns, unprobed.last_completion_ns);
     }
 }

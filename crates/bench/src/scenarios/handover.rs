@@ -11,7 +11,7 @@
 //! beforehand, saving energy and radio resources — is activated and the
 //! transfer completes over LTE.
 //!
-//! Everything that changes mid-run is a [`smapp_sim::DynamicsScript`]
+//! Everything that changes mid-run is a [`smapp_sim::NetemScript`]
 //! entry executed through the calendar event queue, so per-seed
 //! trajectories are bit-identical across reruns and `--jobs N` sweeps.
 
@@ -23,7 +23,7 @@ use smapp_mptcp::StackConfig;
 use smapp_netlink::LatencyModel;
 use smapp_pm::topo::{self, CLIENT_ADDR1, CLIENT_ADDR2, SERVER_ADDR};
 use smapp_pm::Host;
-use smapp_sim::{DynAction, DynamicsScript, LinkCfg, LossModel, SimTime};
+use smapp_sim::{InstallPolicy, LinkCfg, LossPct, Netem, NetemScript, SimTime};
 
 use crate::trace::SeqTraceSink;
 
@@ -125,24 +125,16 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
         ))));
 
     // The mobility script: degrade, then hard-break, the WiFi path.
-    sim.install_dynamics(
-        DynamicsScript::new()
+    sim.install(
+        NetemScript::new()
             .at(
                 p.loss_onset,
-                DynAction::SetLoss {
-                    link: net.link1,
-                    dir: None,
-                    loss: LossModel::Bernoulli(p.loss),
-                },
+                Netem::on(net.link1).loss(LossPct::ratio(p.loss)),
             )
-            .at(
-                p.break_at,
-                DynAction::IfaceAdmin {
-                    iface: net.client_if1,
-                    up: false,
-                },
-            ),
-    );
+            .at(p.break_at, Netem::iface(net.client_if1).down()),
+        InstallPolicy::Sort,
+    )
+    .unwrap();
     let summary = sim.run_until(p.horizon);
 
     let verdict = smapp_pm::verify::conclude(&mut sim, &summary, "handover", p.seed);

@@ -5,7 +5,7 @@
 //! paper; RFC 6824 §3.7): a "transparent" middlebox that normalizes TCP by
 //! removing options it does not understand. Here the two-path topology's
 //! router is toggled into option-stripping mode by a
-//! [`smapp_sim::DynamicsScript`] command: every forwarded TCP segment
+//! [`smapp_sim::NetemScript`] command: every forwarded TCP segment
 //! loses its kind-30 options, the `MP_CAPABLE` handshake degrades to plain
 //! TCP, the path manager's join attempts are refused, and the transfer
 //! still completes — on exactly one subflow.
@@ -17,7 +17,7 @@ use smapp_mptcp::apps::{BulkSender, Sink};
 use smapp_mptcp::StackConfig;
 use smapp_pm::topo::{self, CLIENT_ADDR1, CLIENT_ADDR2, SERVER_ADDR};
 use smapp_pm::Host;
-use smapp_sim::{DynAction, DynamicsScript, LinkCfg, NodeCommand, Router, SimTime};
+use smapp_sim::{InstallPolicy, LinkCfg, Netem, NetemScript, Router, SimTime};
 
 use crate::pms::BackupFlagPm;
 
@@ -106,13 +106,11 @@ pub fn run_instrumented(p: &Params) -> (smapp_sim::RunSummary, Results) {
     let mut sim = net.sim;
     sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
     if p.strip {
-        sim.install_dynamics(DynamicsScript::new().at(
-            p.strip_at,
-            DynAction::Command {
-                node: net.router,
-                cmd: NodeCommand::StripMptcp(true),
-            },
-        ));
+        sim.install(
+            NetemScript::new().at(p.strip_at, Netem::peer(net.router).strip_mptcp(true)),
+            InstallPolicy::Sort,
+        )
+        .unwrap();
     }
     let summary = sim.run_until(p.horizon);
     smapp_pm::verify::conclude(&mut sim, &summary, "middlebox", p.seed).expect_clean();

@@ -7,7 +7,7 @@
 use smapp_bench::fuzz::{
     run_case_opts, FuzzAction, FuzzCase, FuzzDyn, FuzzOptions, PmMix, Rewrite, Strip, Topo,
 };
-use smapp_sim::{LinkCfg, LossModel, SimTime};
+use smapp_sim::{LinkCfg, SimTime};
 use std::time::Duration;
 
 /// Found by a 60 s `fuzz --mutate` run (the CI fuzz-mutate job's exact
@@ -26,18 +26,8 @@ fn partial_ack_retransmission_never_shifts_the_stream() {
         seed: 11001988291751153430,
         topo: Topo::TwoPath,
         link_cfgs: vec![
-            LinkCfg {
-                rate_bps: 8_000_000,
-                delay: Duration::from_millis(3),
-                queue_pkts: 59,
-                loss: LossModel::None,
-            },
-            LinkCfg {
-                rate_bps: 18_000_000,
-                delay: Duration::from_millis(27),
-                queue_pkts: 67,
-                loss: LossModel::None,
-            },
+            LinkCfg::mbps_ms(8, 3).queue(59),
+            LinkCfg::mbps_ms(18, 27).queue(67),
         ],
         pm: PmMix::FullMesh,
         transfer: 88_151,
@@ -68,20 +58,7 @@ fn stripped_sender_infers_fallback_and_never_reinjects() {
     let case = FuzzCase {
         seed: 14840394600692395291,
         topo: Topo::TwoPath,
-        link_cfgs: vec![
-            LinkCfg {
-                rate_bps: 5_000_000,
-                delay: Duration::from_millis(10),
-                queue_pkts: 100,
-                loss: LossModel::None,
-            },
-            LinkCfg {
-                rate_bps: 5_000_000,
-                delay: Duration::from_millis(10),
-                queue_pkts: 100,
-                loss: LossModel::None,
-            },
-        ],
+        link_cfgs: vec![LinkCfg::mbps_ms(5, 10), LinkCfg::mbps_ms(5, 10)],
         pm: PmMix::Noop,
         transfer: 231_124,
         strip: Strip::MidHandshake,

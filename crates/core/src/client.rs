@@ -8,7 +8,10 @@
 
 use bytes::Bytes;
 use smapp_mptcp::{ConnToken, PmEvent, SubflowId};
-use smapp_netlink::{decode, encode_command, NlError, PmNlCommand, PmNlMessage, UserCtx};
+use smapp_netlink::{
+    decode, encode_command, encode_diag_request, DiagConn, NlError, PmNlCommand, PmNlMessage,
+    UserCtx,
+};
 use smapp_sim::Addr;
 use smapp_tcp::TcpInfo;
 
@@ -27,6 +30,13 @@ pub enum ControllerEvent {
         conn: Option<(u64, u64)>,
         /// Per-subflow snapshots.
         subflows: Vec<(SubflowId, TcpInfo)>,
+    },
+    /// Reply to a [`PmClient::diag`] dump request.
+    Diag {
+        /// Echoed sequence number.
+        seq: u32,
+        /// Per-connection sockdiag snapshots, in creation order.
+        conns: Vec<DiagConn>,
     },
     /// A command was rejected by the kernel (errno != 0).
     CommandFailed {
@@ -153,6 +163,17 @@ impl PmClient {
         self.send(ctx, &PmNlCommand::WithdrawAddr { token, addr_id });
     }
 
+    /// Sockdiag dump: ask the kernel for the live state of one connection
+    /// (`Some(token)`) or every connection (`None`). The answer arrives
+    /// later as [`ControllerEvent::Diag`]; returns the sequence number
+    /// echoed in that reply.
+    pub fn diag(&mut self, ctx: &mut UserCtx<'_>, token: Option<ConnToken>) -> u32 {
+        let seq = self.next_seq();
+        self.commands_sent += 1;
+        ctx.send(encode_diag_request(seq, token));
+        seq
+    }
+
     /// Parse a frame from the kernel into a controller event. Successful
     /// command acks are swallowed (returns `None`); failures surface as
     /// [`ControllerEvent::CommandFailed`].
@@ -178,9 +199,10 @@ impl PmClient {
                     subflows,
                 })
             }
+            Ok(PmNlMessage::DiagReply { seq, conns }) => Some(ControllerEvent::Diag { seq, conns }),
             Ok(PmNlMessage::Ack { errno: 0, .. }) => None,
             Ok(PmNlMessage::Ack { errno, .. }) => Some(ControllerEvent::CommandFailed { errno }),
-            Ok(PmNlMessage::Command { .. }) | Err(_) => {
+            Ok(PmNlMessage::Command { .. }) | Ok(PmNlMessage::DiagRequest { .. }) | Err(_) => {
                 self.parse_errors += 1;
                 let _: Result<(), NlError> = Ok(());
                 None

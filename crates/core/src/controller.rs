@@ -63,6 +63,12 @@ impl ControlApi<'_, '_> {
         self.client.get_info(self.ctx, token, id, tag);
     }
 
+    /// Sockdiag dump of one connection (`Some(token)`) or the whole host
+    /// (`None`); answered via [`SubflowController::on_diag`].
+    pub fn diag(&mut self, token: Option<ConnToken>) -> u32 {
+        self.client.diag(self.ctx, token)
+    }
+
     /// Announce a local address on a connection.
     pub fn announce_addr(&mut self, token: ConnToken, addr_id: u8, addr: Addr) {
         self.client.announce_addr(self.ctx, token, addr_id, addr);
@@ -103,6 +109,15 @@ pub trait SubflowController: Send {
         subflows: &[(SubflowId, TcpInfo)],
     ) {
         let _ = (api, tag, token, conn, subflows);
+    }
+    /// A sockdiag dump completed.
+    fn on_diag(
+        &mut self,
+        api: &mut ControlApi<'_, '_>,
+        seq: u32,
+        conns: &[smapp_netlink::DiagConn],
+    ) {
+        let _ = (api, seq, conns);
     }
     /// A controller timer fired.
     fn on_timer(&mut self, api: &mut ControlApi<'_, '_>, token: u64) {
@@ -170,6 +185,7 @@ impl<C: SubflowController + 'static> UserProcess for ControllerRuntime<C> {
             } => self
                 .controller
                 .on_info(&mut api, tag, token, conn, &subflows),
+            ControllerEvent::Diag { seq, conns } => self.controller.on_diag(&mut api, seq, &conns),
             ControllerEvent::CommandFailed { errno } => {
                 self.controller.on_command_failed(&mut api, errno)
             }

@@ -65,6 +65,7 @@ pub use controllers::{
 
 /// Convenient glob import for examples and experiments.
 pub mod prelude {
+    pub use crate::client::{ControllerEvent, PmClient};
     pub use crate::controller::{controller_of, ControlApi, ControllerRuntime, SubflowController};
     pub use crate::controllers::{
         BackupConfig, BackupController, FullMeshConfig, FullMeshController, NdiffportsController,
@@ -72,9 +73,13 @@ pub mod prelude {
         StreamController,
     };
     pub use smapp_mptcp::{ConnToken, PmEvent, StackConfig, SubflowError, SubflowId};
-    pub use smapp_netlink::LatencyModel;
-    pub use smapp_pm::{FullMeshPm, Host, NdiffportsPm};
+    pub use smapp_netlink::{DiagConn, LatencyModel};
+    pub use smapp_pm::{DiagLog, FullMeshPm, Host, NdiffportsPm};
+    // The typed netem impairment language plus the raw script layer it
+    // compiles to, so examples can use either.
     pub use smapp_sim::{
-        Addr, DynAction, DynamicsScript, LinkCfg, LossModel, NodeCommand, SimTime, Simulator,
+        Addr, DynAction, DynamicsScript, Eviction, Handle, InstallPolicy, LinkCfg, LossModel,
+        LossPct, Netem, NetemScript, NodeCommand, OneWayDelay, QueueLen, RateBps, SimTime,
+        Simulator,
     };
 }

@@ -13,7 +13,7 @@
 //! 1900-line library pair.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use smapp_mptcp::{ConnToken, FourTuple, PmAction, PmEvent, SubflowError, SubflowId};
+use smapp_mptcp::{ConnState, ConnToken, FourTuple, PmAction, PmEvent, SubflowError, SubflowId};
 use smapp_sim::Addr;
 use smapp_tcp::{TcpInfo, TcpStateInfo};
 
@@ -67,10 +67,15 @@ pub mod cmd {
     pub const CMD_ANNOUNCE_ADDR: u8 = 37;
     /// Command: withdraw a local address via REMOVE_ADDR.
     pub const CMD_WITHDRAW_ADDR: u8 = 38;
+    /// Command: sockdiag-style dump of live connection state (one
+    /// connection by token, or every connection of the host).
+    pub const CMD_DIAG: u8 = 39;
     /// Reply to `CMD_GET_INFO`.
     pub const REPLY_INFO: u8 = 64;
     /// Generic acknowledgment / error reply.
     pub const REPLY_ACK: u8 = 65;
+    /// Reply to `CMD_DIAG`.
+    pub const REPLY_DIAG: u8 = 66;
 }
 
 /// Attribute type numbers.
@@ -118,6 +123,25 @@ pub mod attr {
     pub const DATA_SND_UNA: u16 = 20;
     /// Connection-level next data offset to send (u64).
     pub const DATA_SND_NXT: u16 = 21;
+    /// Nested per-connection container in a diag reply; holds `TOKEN`,
+    /// `CONN_STATE`, `FALLBACK`, data-level offsets, tap counters and one
+    /// `SUBFLOW_NEST` per live subflow.
+    pub const CONN_NEST: u16 = 22;
+    /// Coarse connection state (u8; see
+    /// [`crate::family::conn_state_to_u8`]).
+    pub const CONN_STATE: u16 = 23;
+    /// Plain-TCP fallback inferred flag (u8).
+    pub const FALLBACK: u16 = 24;
+    /// Bytes pushed through the send-side stream tap (u64).
+    pub const TAP_SENT_BYTES: u16 = 25;
+    /// Running FNV digest of the sent stream (u64).
+    pub const TAP_SENT_DIGEST: u16 = 26;
+    /// Bytes pushed through the receive-side stream tap (u64).
+    pub const TAP_RECVD_BYTES: u16 = 27;
+    /// Running FNV digest of the received stream (u64).
+    pub const TAP_RECVD_DIGEST: u16 = 28;
+    /// Connection-level reinjections performed (u64).
+    pub const REINJECTIONS: u16 = 29;
 }
 
 /// Commands userspace sends to the kernel path manager.
@@ -261,6 +285,66 @@ pub enum PmNlMessage {
         /// errno-style code, 0 on success.
         errno: u16,
     },
+    /// User → kernel sockdiag-style dump request.
+    DiagRequest {
+        /// Sequence number (echoed in the reply).
+        seq: u32,
+        /// Restrict the dump to one connection (None = every connection
+        /// on the host).
+        token: Option<ConnToken>,
+    },
+    /// Kernel → user sockdiag-style dump reply: one [`DiagConn`] per
+    /// matched connection, in creation order.
+    DiagReply {
+        /// Echoed sequence number.
+        seq: u32,
+        /// Per-connection snapshots.
+        conns: Vec<DiagConn>,
+    },
+}
+
+/// One connection's worth of live state in a [`PmNlMessage::DiagReply`] —
+/// the simulation's `ss`/sockdiag equivalent. Everything here is read
+/// straight off the running stack without perturbing it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagConn {
+    /// Connection token.
+    pub token: ConnToken,
+    /// Coarse connection state.
+    pub state: ConnState,
+    /// True once the stack inferred a plain-TCP fallback.
+    pub fallback_inferred: bool,
+    /// Data-level first unacknowledged offset (`snd_una`).
+    pub meta_una: u64,
+    /// Data-level next offset to send (`snd_nxt`).
+    pub meta_snd_nxt: u64,
+    /// Send-side stream tap `(bytes, fnv_digest)`.
+    pub tap_sent: (u64, u64),
+    /// Receive-side stream tap `(bytes, fnv_digest)`.
+    pub tap_recvd: (u64, u64),
+    /// Meta-level reinjections performed so far.
+    pub reinjections: u64,
+    /// Per-subflow TCP_INFO snapshots (RTT, cwnd, state, …), live
+    /// subflows only, in subflow-id order.
+    pub subflows: Vec<(SubflowId, TcpInfo)>,
+}
+
+/// Encode a [`ConnState`] as the u8 carried in [`attr::CONN_STATE`].
+pub fn conn_state_to_u8(s: ConnState) -> u8 {
+    match s {
+        ConnState::Establishing => 1,
+        ConnState::Established => 2,
+        ConnState::Closed => 3,
+    }
+}
+
+/// Decode the u8 written by [`conn_state_to_u8`].
+pub fn conn_state_from_u8(v: u8) -> ConnState {
+    match v {
+        1 => ConnState::Establishing,
+        2 => ConnState::Established,
+        _ => ConnState::Closed,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -572,6 +656,76 @@ pub fn encode_ack(seq: u32, errno: u16) -> Bytes {
     b.finish()
 }
 
+/// Encode a sockdiag dump request (`token` = None dumps every
+/// connection).
+pub fn encode_diag_request(seq: u32, token: Option<ConnToken>) -> Bytes {
+    let mut b = fb(cmd::CMD_DIAG, NLM_F_REQUEST, seq, CONTROLLER_PID);
+    if let Some(t) = token {
+        b.attr_u32(attr::TOKEN, t);
+    }
+    b.finish()
+}
+
+/// Encode the reply to `CMD_DIAG`: one `CONN_NEST` per connection, each
+/// nesting its own `SUBFLOW_NEST` entries.
+pub fn encode_diag_reply(seq: u32, conns: &[DiagConn]) -> Bytes {
+    let mut b = fb(cmd::REPLY_DIAG, 0, seq, KERNEL_PID);
+    for c in conns {
+        b.attr_nested(attr::CONN_NEST, |inner| {
+            inner.attr_u32(attr::TOKEN, c.token);
+            inner.attr_u8(attr::CONN_STATE, conn_state_to_u8(c.state));
+            inner.attr_u8(attr::FALLBACK, c.fallback_inferred as u8);
+            inner.attr_u64(attr::DATA_SND_UNA, c.meta_una);
+            inner.attr_u64(attr::DATA_SND_NXT, c.meta_snd_nxt);
+            inner.attr_u64(attr::TAP_SENT_BYTES, c.tap_sent.0);
+            inner.attr_u64(attr::TAP_SENT_DIGEST, c.tap_sent.1);
+            inner.attr_u64(attr::TAP_RECVD_BYTES, c.tap_recvd.0);
+            inner.attr_u64(attr::TAP_RECVD_DIGEST, c.tap_recvd.1);
+            inner.attr_u64(attr::REINJECTIONS, c.reinjections);
+            for (id, info) in &c.subflows {
+                let id = *id;
+                let blob = encode_tcp_info(info);
+                inner.attr_nested(attr::SUBFLOW_NEST, |sf| {
+                    sf.attr_u8(attr::SUBFLOW_ID, id);
+                    sf.attr_bytes(attr::TCP_INFO, &blob);
+                });
+            }
+        });
+    }
+    b.finish()
+}
+
+fn decode_diag_conn(nest: &crate::wire::Attr<'_>) -> Result<DiagConn, NlError> {
+    let attrs = attr_map(nest.nested_attrs())?;
+    let u64_of = |ty: u16| -> Result<u64, NlError> { find_attr(&attrs, ty)?.as_u64() };
+    let mut subflows = Vec::new();
+    for a in &attrs {
+        if a.ty == attr::SUBFLOW_NEST {
+            let inner = attr_map(a.nested_attrs())?;
+            let id = find_attr(&inner, attr::SUBFLOW_ID)?.as_u8()?;
+            let info = decode_tcp_info(find_attr(&inner, attr::TCP_INFO)?.payload)?;
+            subflows.push((id, info));
+        }
+    }
+    Ok(DiagConn {
+        token: find_attr(&attrs, attr::TOKEN)?.as_u32()?,
+        state: conn_state_from_u8(find_attr(&attrs, attr::CONN_STATE)?.as_u8()?),
+        fallback_inferred: find_attr(&attrs, attr::FALLBACK)?.as_u8()? != 0,
+        meta_una: u64_of(attr::DATA_SND_UNA)?,
+        meta_snd_nxt: u64_of(attr::DATA_SND_NXT)?,
+        tap_sent: (
+            u64_of(attr::TAP_SENT_BYTES)?,
+            u64_of(attr::TAP_SENT_DIGEST)?,
+        ),
+        tap_recvd: (
+            u64_of(attr::TAP_RECVD_BYTES)?,
+            u64_of(attr::TAP_RECVD_DIGEST)?,
+        ),
+        reinjections: u64_of(attr::REINJECTIONS)?,
+        subflows,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------
@@ -731,6 +885,22 @@ pub fn decode(bytes: &[u8]) -> Result<PmNlMessage, NlError> {
             seq,
             errno: find_attr(&attrs, attr::ERROR)?.as_u16()?,
         },
+        cmd::CMD_DIAG => PmNlMessage::DiagRequest {
+            seq,
+            token: match find_attr_opt(&attrs, attr::TOKEN) {
+                Some(a) => Some(a.as_u32()?),
+                None => None,
+            },
+        },
+        cmd::REPLY_DIAG => {
+            let mut conns = Vec::new();
+            for a in &attrs {
+                if a.ty == attr::CONN_NEST {
+                    conns.push(decode_diag_conn(a)?);
+                }
+            }
+            PmNlMessage::DiagReply { seq, conns }
+        }
         other => return Err(NlError::UnknownCmd(other)),
     };
     Ok(msg)
@@ -945,6 +1115,99 @@ mod tests {
             decode(&bytes).unwrap(),
             PmNlMessage::Ack { seq: 7, errno: 110 }
         );
+    }
+
+    #[test]
+    fn diag_request_roundtrip() {
+        let bytes = encode_diag_request(11, Some(0xFEED));
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            PmNlMessage::DiagRequest {
+                seq: 11,
+                token: Some(0xFEED),
+            }
+        );
+        let bytes = encode_diag_request(12, None);
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            PmNlMessage::DiagRequest {
+                seq: 12,
+                token: None,
+            }
+        );
+    }
+
+    #[test]
+    fn diag_reply_roundtrip() {
+        let conns = vec![
+            DiagConn {
+                token: 0xA1,
+                state: ConnState::Established,
+                fallback_inferred: false,
+                meta_una: 4_000,
+                meta_snd_nxt: 6_500,
+                tap_sent: (6_500, 0xDEAD),
+                tap_recvd: (1_200, 0xBEEF),
+                reinjections: 2,
+                subflows: vec![
+                    (
+                        0u8,
+                        TcpInfo {
+                            srtt_us: 12_000,
+                            cwnd: 20_000,
+                            ..Default::default()
+                        },
+                    ),
+                    (
+                        1u8,
+                        TcpInfo {
+                            srtt_us: 55_000,
+                            backup: true,
+                            ..Default::default()
+                        },
+                    ),
+                ],
+            },
+            DiagConn {
+                token: 0xB2,
+                state: ConnState::Closed,
+                fallback_inferred: true,
+                meta_una: 0,
+                meta_snd_nxt: 0,
+                tap_sent: (0, 0xcbf29ce484222325),
+                tap_recvd: (0, 0xcbf29ce484222325),
+                reinjections: 0,
+                subflows: vec![],
+            },
+        ];
+        let bytes = encode_diag_reply(21, &conns);
+        match decode(&bytes).unwrap() {
+            PmNlMessage::DiagReply { seq, conns: got } => {
+                assert_eq!(seq, 21);
+                assert_eq!(got, conns);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An empty dump still decodes.
+        let bytes = encode_diag_reply(22, &[]);
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            PmNlMessage::DiagReply {
+                seq: 22,
+                conns: vec![],
+            }
+        );
+    }
+
+    #[test]
+    fn conn_state_u8_roundtrip() {
+        for s in [
+            ConnState::Establishing,
+            ConnState::Established,
+            ConnState::Closed,
+        ] {
+            assert_eq!(conn_state_from_u8(conn_state_to_u8(s)), s);
+        }
     }
 
     #[test]

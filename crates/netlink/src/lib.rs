@@ -23,8 +23,9 @@ pub mod wire;
 
 pub use channel::{LatencyModel, UserCtx, UserProcess};
 pub use family::{
-    attr, cmd, decode, decode_tcp_info, encode_ack, encode_command, encode_event,
-    encode_info_reply, encode_tcp_info, PmNlCommand, PmNlMessage, CONTROLLER_PID, FAMILY_ID,
-    FAMILY_VERSION, KERNEL_PID,
+    attr, cmd, conn_state_from_u8, conn_state_to_u8, decode, decode_tcp_info, encode_ack,
+    encode_command, encode_diag_reply, encode_diag_request, encode_event, encode_info_reply,
+    encode_tcp_info, DiagConn, PmNlCommand, PmNlMessage, CONTROLLER_PID, FAMILY_ID, FAMILY_VERSION,
+    KERNEL_PID,
 };
 pub use wire::{Attr, AttrIter, Frame, FrameBuilder, GenlMsgHdr, NlError, NlMsgHdr};

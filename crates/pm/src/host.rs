@@ -27,10 +27,12 @@ use smapp_mptcp::{
     PmAction, PmActions, StackConfig, StackEnv,
 };
 use smapp_netlink::{
-    decode, encode_ack, encode_info_reply, LatencyModel, PmNlCommand, PmNlMessage, UserCtx,
-    UserProcess,
+    decode, encode_ack, encode_diag_reply, encode_info_reply, DiagConn, LatencyModel, PmNlCommand,
+    PmNlMessage, UserCtx, UserProcess,
 };
-use smapp_sim::{Addr, Ctx, FxHashMap, IfaceId, Node, Packet, SimRng, SimTime, TimerHandle};
+use smapp_sim::{
+    Addr, Ctx, FxHashMap, IfaceId, Node, NodeCommand, Packet, SimRng, SimTime, TimerHandle,
+};
 
 use crate::netlink_pm::NetlinkPm;
 
@@ -70,6 +72,18 @@ struct DriveScratch {
     connects: Vec<smapp_mptcp::ConnectRequest>,
 }
 
+/// Record of sockdiag probes taken mid-run, filled by scripted
+/// [`NodeCommand::Probe`] actions. Probing is read-only: it draws no
+/// randomness, sends nothing and arms no timers, so a probed run's
+/// trajectory is bit-identical to an unprobed one.
+#[derive(Default)]
+pub struct DiagLog {
+    /// Probes executed so far.
+    pub probes: u64,
+    /// Encoded `REPLY_DIAG` frames, one per probe, in probe order.
+    pub replies: Vec<Bytes>,
+}
+
 /// One simulated multihomed endpoint.
 pub struct Host {
     /// Human-readable name for reports.
@@ -92,6 +106,8 @@ pub struct Host {
     scratch: DriveScratch,
     /// Netlink frames that failed to decode at the kernel (diagnostics).
     pub malformed_commands: u64,
+    /// Sockdiag snapshots taken by scripted `Probe` commands.
+    pub diag: DiagLog,
 }
 
 impl Host {
@@ -111,6 +127,7 @@ impl Host {
             connects: Vec::new(),
             scratch: DriveScratch::default(),
             malformed_commands: 0,
+            diag: DiagLog::default(),
         }
     }
 
@@ -320,9 +337,17 @@ impl Host {
                 return;
             }
         };
-        let PmNlMessage::Command { seq, cmd } = msg else {
-            self.malformed_commands += 1;
-            return;
+        let (seq, cmd) = match msg {
+            PmNlMessage::Command { seq, cmd } => (seq, cmd),
+            PmNlMessage::DiagRequest { seq, token } => {
+                let reply = encode_diag_reply(seq, &self.diag_dump(token));
+                self.schedule_boundary(ctx, reply, D_TO_USER);
+                return;
+            }
+            _ => {
+                self.malformed_commands += 1;
+                return;
+            }
         };
         match cmd {
             PmNlCommand::Subscribe { mask } => {
@@ -383,6 +408,35 @@ impl Host {
             .conn_info(token)
             .map(|ci| (ci.meta_una, ci.meta_snd_nxt));
         encode_info_reply(seq, token, conn, &infos)
+    }
+
+    /// Sockdiag dump: live state of every connection on this host (or one
+    /// connection by `token`), in creation order. Read-only — safe to call
+    /// mid-run from scenario code without perturbing the trajectory.
+    pub fn diag_dump(&self, token: Option<ConnToken>) -> Vec<DiagConn> {
+        self.stack
+            .connections()
+            .filter(|c| token.is_none_or(|t| c.token == t))
+            .map(|c| {
+                let info = c.info();
+                let subflows = c
+                    .live_subflow_ids()
+                    .into_iter()
+                    .filter_map(|sid| c.subflow_info(sid).map(|i| (sid, i)))
+                    .collect();
+                DiagConn {
+                    token: c.token,
+                    state: info.state,
+                    fallback_inferred: c.stats.fallback_inferred,
+                    meta_una: info.meta_una,
+                    meta_snd_nxt: info.meta_snd_nxt,
+                    tap_sent: (c.stats.tap_sent.count, c.stats.tap_sent.fnv),
+                    tap_recvd: (c.stats.tap_recvd.count, c.stats.tap_recvd.fnv),
+                    reinjections: c.stats.reinjections,
+                    subflows,
+                }
+            })
+            .collect()
     }
 }
 
@@ -447,6 +501,16 @@ impl Node for Host {
                 }
             }
             _ => {}
+        }
+    }
+
+    fn on_command(&mut self, _ctx: &mut Ctx<'_>, cmd: &NodeCommand) {
+        if let NodeCommand::Probe = cmd {
+            // Read-only snapshot: no RNG draws, no sends, no timers.
+            let seq = self.diag.probes as u32;
+            self.diag.probes += 1;
+            let reply = encode_diag_reply(seq, &self.diag_dump(None));
+            self.diag.replies.push(reply);
         }
     }
 

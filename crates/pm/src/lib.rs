@@ -26,7 +26,7 @@ pub mod topo;
 pub mod verify;
 
 pub use fullmesh::FullMeshPm;
-pub use host::Host;
+pub use host::{DiagLog, Host};
 pub use ndiffports::NdiffportsPm;
 pub use netlink_pm::NetlinkPm;
 pub use topo::{ecmp, firewalled, host, host_mut, two_path, EcmpNet, FirewalledNet, TwoPathNet};

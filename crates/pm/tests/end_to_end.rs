@@ -317,3 +317,75 @@ fn firewall_topology_passes_traffic() {
     sim.run_until(SimTime::from_secs(30));
     assert_eq!(sink_bytes(&sim, net.server), 100_000);
 }
+
+/// One probed fullmesh run: returns the client's encoded sockdiag reply
+/// frames, probed mid-transfer at 0.5 s, 1 s and 1.5 s.
+fn probed_run(seed: u64) -> Vec<Bytes> {
+    let mut client = client_host().with_pm(Box::new(FullMeshPm::new()));
+    client.connect_at(
+        SimTime::from_millis(10),
+        None,
+        SERVER_ADDR,
+        80,
+        Box::new(BulkSender::new(2_000_000).close_when_done()),
+    );
+    let net = topo::two_path(
+        seed,
+        client,
+        server_host(),
+        LinkCfg::mbps_ms(5, 10),
+        LinkCfg::mbps_ms(5, 10),
+    );
+    let mut sim = net.sim;
+    sim.install(
+        smapp_sim::NetemScript::new()
+            .at(
+                SimTime::from_millis(500),
+                smapp_sim::Netem::peer(net.client).probe(),
+            )
+            .at(
+                SimTime::from_millis(1000),
+                smapp_sim::Netem::peer(net.client).probe(),
+            )
+            .at(
+                SimTime::from_millis(1500),
+                smapp_sim::Netem::peer(net.client).probe(),
+            ),
+        smapp_sim::InstallPolicy::Sort,
+    )
+    .unwrap();
+    sim.run_until(SimTime::from_secs(60));
+    topo::host(&sim, net.client).diag.replies.clone()
+}
+
+#[test]
+fn sockdiag_dumps_are_byte_identical_per_seed_and_see_live_state() {
+    for seed in [1u64, 7, 42] {
+        let a = probed_run(seed);
+        let b = probed_run(seed);
+        assert_eq!(a, b, "seed {seed}: probed dumps must be byte-identical");
+        assert_eq!(a.len(), 3, "one reply per scripted probe");
+        // Mid-transfer dumps report the live connection: established, not
+        // fallen back, with per-subflow RTT/cwnd snapshots.
+        let mut live_subflows = 0usize;
+        for frame in &a {
+            let PmNlMessage::DiagReply { conns, .. } = decode(frame).unwrap() else {
+                panic!("stored probe reply must decode as a diag reply");
+            };
+            assert_eq!(conns.len(), 1, "one connection on the client");
+            let c = &conns[0];
+            assert_eq!(c.state, ConnState::Established);
+            assert!(!c.fallback_inferred);
+            assert!(c.meta_snd_nxt >= c.meta_una);
+            for (_, info) in &c.subflows {
+                if info.cwnd > 0 && info.srtt_us > 0 {
+                    live_subflows += 1;
+                }
+            }
+        }
+        assert!(
+            live_subflows > 0,
+            "seed {seed}: at least one subflow snapshot carries cwnd/RTT"
+        );
+    }
+}

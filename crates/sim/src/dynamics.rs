@@ -43,7 +43,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use crate::link::{Dir, LinkId, LossModel};
+use crate::link::{Dir, Eviction, LinkId, LossModel};
 use crate::node::{IfaceId, NodeId};
 use crate::time::SimTime;
 
@@ -71,10 +71,17 @@ pub enum NodeCommand {
     /// Drop every n-th eligible pure ACK per flow (`0` disables). ACKs
     /// completing a FIN exchange are never thinned.
     AckThin(u32),
+    /// Take a sockdiag-style snapshot of the node's live connection state
+    /// (subflows with RTT/cwnd/state, meta-level send offsets, fallback
+    /// and tap digests). Strictly read-only: a probed node records the
+    /// snapshot for later inspection but sends nothing, arms nothing and
+    /// draws no randomness, so probing never perturbs a trajectory.
+    /// Ignored by nodes without a transport stack.
+    Probe,
 }
 
 /// One deterministic scripted change to the network.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DynAction {
     /// Set the serialization rate (bits/s) of a link direction
     /// (`dir: None` = both directions).
@@ -96,8 +103,9 @@ pub enum DynAction {
         delay: Duration,
     },
     /// Set the drop-tail queue capacity (packets) of a link direction.
-    /// Shrinking does not evict already-queued packets; the new bound
-    /// applies to subsequent admissions.
+    /// Whether a shrink evicts already-queued packets is governed by
+    /// `evict`; the default [`Eviction::Keep`] preserves the historical
+    /// shrink-does-not-evict rule.
     SetQueue {
         /// Target link.
         link: LinkId,
@@ -105,6 +113,8 @@ pub enum DynAction {
         dir: Option<Dir>,
         /// New queue capacity in packets.
         pkts: usize,
+        /// Policy for already-queued packets on shrink.
+        evict: Eviction,
     },
     /// Replace the random-loss model of a link direction.
     SetLoss {
@@ -114,6 +124,30 @@ pub enum DynAction {
         dir: Option<Dir>,
         /// New loss model.
         loss: LossModel,
+    },
+    /// Set netem-style reordering of a link direction: with probability
+    /// `pct`, a packet finishing serialization is held back an extra
+    /// `hold` beyond the propagation delay.
+    SetReorder {
+        /// Target link.
+        link: LinkId,
+        /// Direction, or `None` for both.
+        dir: Option<Dir>,
+        /// Hold-back probability in `[0, 1]` (`0.0` disables).
+        pct: f64,
+        /// Extra one-way delay for held-back packets.
+        hold: Duration,
+    },
+    /// Set the netem-style duplication probability of a link direction:
+    /// with probability `pct`, a packet finishing serialization re-enters
+    /// the tail of the same queue as an extra copy.
+    SetDuplicate {
+        /// Target link.
+        link: LinkId,
+        /// Direction, or `None` for both.
+        dir: Option<Dir>,
+        /// Duplication probability in `[0, 1]` (`0.0` disables).
+        pct: f64,
     },
     /// Take a whole link down or up: both endpoint interfaces change
     /// administrative state and both owning nodes are notified.
@@ -143,7 +177,7 @@ pub enum DynAction {
 }
 
 /// One scripted entry: an action and the instant it executes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DynEntry {
     /// When the action runs.
     pub at: SimTime,
@@ -183,7 +217,7 @@ impl std::error::Error for OutOfOrderError {}
 /// order; installation stably sorts by time, so entries sharing an instant
 /// run in the order they were added. Use [`DynamicsScript::validate`] (or
 /// the strict installer) to *reject* out-of-order scripts instead.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DynamicsScript {
     entries: Vec<DynEntry>,
 }

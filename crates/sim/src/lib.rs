@@ -12,7 +12,9 @@
 //! * stateful firewall/NAT middleboxes with idle timeouts ([`Firewall`]),
 //! * scripted deterministic network dynamics — link parameter changes,
 //!   link/interface flaps, middlebox control — executed through the
-//!   calendar event queue ([`DynamicsScript`], [`dynamics`]),
+//!   calendar event queue ([`DynamicsScript`], [`dynamics`]), plus a
+//!   typed `tc`-style impairment language that compiles onto it
+//!   ([`Netem`], [`netem`]),
 //! * a tracing facility equivalent to running tcpdump on every link
 //!   ([`TraceSink`]),
 //! * an always-on protocol-invariant checker built on that tracing
@@ -70,6 +72,7 @@ pub(crate) mod equeue;
 pub mod firewall;
 pub mod hash;
 pub mod link;
+pub mod netem;
 pub mod node;
 pub mod oracle;
 pub mod packet;
@@ -86,7 +89,8 @@ pub use coverage::Coverage;
 pub use dynamics::{DynAction, DynEntry, DynamicsScript, NodeCommand, OutOfOrderError};
 pub use firewall::{DenyPolicy, Firewall};
 pub use hash::{FxHashMap, FxHashSet};
-pub use link::{Dir, DropReason, LinkCfg, LinkDirStats, LinkId, LossModel};
+pub use link::{Dir, DropReason, Eviction, LinkCfg, LinkDirStats, LinkId, LossModel, ReorderModel};
+pub use netem::{Handle, LossPct, Netem, NetemScript, OneWayDelay, QueueLen, RateBps};
 pub use node::{Iface, IfaceId, Node, NodeId};
 pub use oracle::{Oracle, OracleOutcome, Violation};
 pub use packet::{IcmpMsg, Packet, PktSummary, UnreachCode, IP_HEADER_LEN, PROTO_ICMP, PROTO_TCP};
@@ -94,4 +98,4 @@ pub use rng::SimRng;
 pub use router::{Route, Router};
 pub use time::{tx_time, SimTime};
 pub use trace::{CollectorSink, TraceEvent, TraceKind, TraceSink};
-pub use world::{Ctx, RunSummary, SimCore, Simulator, StopReason, TimerHandle};
+pub use world::{Ctx, InstallPolicy, RunSummary, SimCore, Simulator, StopReason, TimerHandle};

@@ -43,9 +43,10 @@ impl Dir {
 }
 
 /// Random-loss behaviour of one link direction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub enum LossModel {
     /// No random loss (queue drops still happen).
+    #[default]
     None,
     /// Independent Bernoulli loss with the given probability.
     Bernoulli(f64),
@@ -76,6 +77,31 @@ impl LossModel {
     }
 }
 
+/// netem-style reordering of one link direction: with probability `pct`,
+/// a packet that finished serialization is held back an extra `hold`
+/// beyond the propagation delay, letting later packets overtake it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReorderModel {
+    /// Probability in `[0, 1]` that a packet is held back. `0.0` disables
+    /// reordering (and performs no RNG draw).
+    pub pct: f64,
+    /// Extra one-way delay applied to held-back packets.
+    pub hold: Duration,
+}
+
+/// What happens to already-queued packets when a drop-tail queue's
+/// capacity shrinks below its current occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Eviction {
+    /// Keep queued packets; the new bound applies only to subsequent
+    /// admissions (the historical behaviour).
+    #[default]
+    Keep,
+    /// Evict newest-queued packets until occupancy fits the new bound
+    /// (traced as [`DropReason::Evicted`]).
+    DropNewest,
+}
+
 /// Static configuration of one link (both directions share it unless
 /// overridden with [`crate::Simulator::connect_asym`]).
 #[derive(Clone, Debug)]
@@ -88,6 +114,13 @@ pub struct LinkCfg {
     pub queue_pkts: usize,
     /// Random loss model.
     pub loss: LossModel,
+    /// netem-style reordering (disabled by default).
+    pub reorder: ReorderModel,
+    /// Probability in `[0, 1]` that a packet finishing serialization is
+    /// duplicated: the copy re-enters the tail of the same queue and is
+    /// serialized again, exactly like netem's `duplicate`. `0.0` disables
+    /// duplication (and performs no RNG draw).
+    pub duplicate_pct: f64,
 }
 
 impl LinkCfg {
@@ -99,6 +132,8 @@ impl LinkCfg {
             delay,
             queue_pkts: 100,
             loss: LossModel::None,
+            reorder: ReorderModel::default(),
+            duplicate_pct: 0.0,
         }
     }
 
@@ -118,6 +153,19 @@ impl LinkCfg {
         self.loss = loss;
         self
     }
+
+    /// Set netem-style reordering: probability `pct` in `[0, 1]`, extra
+    /// hold-back delay `hold`.
+    pub fn reorder(mut self, pct: f64, hold: Duration) -> Self {
+        self.reorder = ReorderModel { pct, hold };
+        self
+    }
+
+    /// Set the netem-style duplication probability (`[0, 1]`).
+    pub fn duplicate(mut self, pct: f64) -> Self {
+        self.duplicate_pct = pct;
+        self
+    }
 }
 
 /// Why a packet was dropped on a link.
@@ -135,6 +183,9 @@ pub enum DropReason {
     NoRoute,
     /// A stateful middlebox had no state for the flow.
     StateDenied,
+    /// Evicted from a queue whose capacity shrank under
+    /// [`Eviction::DropNewest`].
+    Evicted,
 }
 
 /// Runtime state of one direction of one link.
@@ -161,6 +212,13 @@ pub struct LinkDirStats {
     pub dropped_queue: u64,
     /// Packets dropped by the random loss model.
     pub dropped_random: u64,
+    /// Packets evicted by a capacity shrink under
+    /// [`Eviction::DropNewest`].
+    pub dropped_evicted: u64,
+    /// Extra copies injected by the duplication model.
+    pub duplicated: u64,
+    /// Packets held back by the reordering model.
+    pub reordered: u64,
     /// Total payload+header bytes delivered.
     pub bytes_delivered: u64,
 }

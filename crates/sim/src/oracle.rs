@@ -70,6 +70,10 @@ struct LinkFlow {
     /// Drops after serialization started (random loss, iface down at
     /// delivery) — these consume a transmission.
     dropped_after_tx: u64,
+    /// Packets evicted from a queue whose capacity shrank under
+    /// [`crate::link::Eviction::DropNewest`] — enqueued but never
+    /// serialized.
+    evicted: u64,
 }
 
 /// Cap on stored violations; a broken build can violate millions of times
@@ -150,11 +154,13 @@ impl Oracle {
         let at = summary.ended_at;
         for i in 0..self.links.len() {
             let l = self.links[i];
-            if l.enqueued != l.tx_started || l.tx_started != l.delivered + l.dropped_after_tx {
+            if l.enqueued != l.tx_started + l.evicted
+                || l.tx_started != l.delivered + l.dropped_after_tx
+            {
                 let detail = format!(
                     "link {i}: enqueued={} tx_started={} delivered={} dropped_after_tx={} \
-                     after an idle (drained) end of run",
-                    l.enqueued, l.tx_started, l.delivered, l.dropped_after_tx
+                     evicted={} after an idle (drained) end of run",
+                    l.enqueued, l.tx_started, l.delivered, l.dropped_after_tx, l.evicted
                 );
                 self.violate(at, "link-conservation", detail);
             }
@@ -367,9 +373,28 @@ impl TraceSink for Oracle {
                 self.coverage.set(match reason {
                     DropReason::Random => wire::DROP_RANDOM,
                     DropReason::IfaceDown => wire::DROP_IFACE_DOWN,
-                    DropReason::QueueFull => wire::DROP_QUEUE_FULL,
+                    DropReason::QueueFull | DropReason::Evicted => wire::DROP_QUEUE_FULL,
                     _ => wire::DROP_OTHER,
                 });
+                // An evicted packet was enqueued but will never start
+                // serialization; it leaves the conservation ledger here.
+                if let Some(link) = link {
+                    if reason == DropReason::Evicted {
+                        let l = self.link_mut(link.0);
+                        l.evicted += 1;
+                        if l.tx_started + l.evicted > l.enqueued {
+                            let (tx, evd, enq) = (l.tx_started, l.evicted, l.enqueued);
+                            self.violate(
+                                ev.at,
+                                "link-conservation",
+                                format!(
+                                    "link {}: tx_started {tx} + evicted {evd} > enqueued {enq}",
+                                    link.0
+                                ),
+                            );
+                        }
+                    }
+                }
                 // QueueFull happens before admission, IfaceDown/NoRoute at
                 // the sending host before any link — only drops after
                 // serialization started consume a transmission.

@@ -362,6 +362,7 @@ impl Node for Router {
             }
             NodeCommand::AckThin(n) => self.ack_thin = *n,
             NodeCommand::FlushState => {}
+            NodeCommand::Probe => {} // routers keep no connection state
         }
     }
 
@@ -693,13 +694,17 @@ mod tests {
         use crate::dynamics::NodeCommand;
         let mut sim = crate::Simulator::new(0);
         let rid = sim.add_node(Box::new(Router::new(0)));
-        sim.install_dynamics(crate::DynamicsScript::new().at(
-            crate::SimTime::from_millis(1),
-            crate::DynAction::Command {
-                node: rid,
-                cmd: NodeCommand::StripMptcp(true),
-            },
-        ));
+        sim.install(
+            crate::DynamicsScript::new().at(
+                crate::SimTime::from_millis(1),
+                crate::DynAction::Command {
+                    node: rid,
+                    cmd: NodeCommand::StripMptcp(true),
+                },
+            ),
+            crate::InstallPolicy::Sort,
+        )
+        .unwrap();
         sim.run();
         let r = sim.node(rid).as_any().downcast_ref::<Router>().unwrap();
         assert!(r.strip_mptcp);

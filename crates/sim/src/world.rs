@@ -22,7 +22,9 @@ use std::time::Duration;
 use crate::addr::Addr;
 use crate::dynamics::{DynAction, DynamicsScript, OutOfOrderError};
 use crate::equeue::{EventQueue, Scheduled};
-use crate::link::{Dir, DropReason, LinkCfg, LinkDirState, LinkDirStats, LinkId, LossModel};
+use crate::link::{
+    Dir, DropReason, Eviction, LinkCfg, LinkDirState, LinkDirStats, LinkId, LossModel, ReorderModel,
+};
 use crate::node::{Iface, IfaceId, Node, NodeId};
 use crate::packet::Packet;
 use crate::rng::SimRng;
@@ -255,9 +257,48 @@ impl SimCore {
 
     /// Set the drop-tail queue capacity of one direction of a link.
     /// Shrinking does not evict queued packets; the bound applies to
-    /// subsequent admissions.
+    /// subsequent admissions (equivalent to
+    /// [`SimCore::set_queue_policy`] with [`Eviction::Keep`]).
     pub fn set_queue(&mut self, link: LinkId, dir: Dir, pkts: usize) {
+        self.set_queue_policy(link, dir, pkts, Eviction::Keep);
+    }
+
+    /// Set the drop-tail queue capacity of one direction of a link with an
+    /// explicit shrink policy: [`Eviction::Keep`] leaves already-queued
+    /// packets alone, [`Eviction::DropNewest`] evicts from the queue tail
+    /// until occupancy fits the new bound (each eviction is traced as a
+    /// [`DropReason::Evicted`] drop).
+    pub fn set_queue_policy(&mut self, link: LinkId, dir: Dir, pkts: usize, evict: Eviction) {
         self.links[link.0].dir_mut(dir).cfg.queue_pkts = pkts;
+        if evict == Eviction::DropNewest {
+            while self.links[link.0].dir_ref(dir).queue.len() > pkts {
+                let pkt = self.links[link.0]
+                    .dir_mut(dir)
+                    .queue
+                    .pop_back()
+                    .expect("len > pkts implies non-empty");
+                self.links[link.0].dir_mut(dir).stats.dropped_evicted += 1;
+                self.trace_event(
+                    TraceKind::Drop {
+                        link: Some(link),
+                        reason: DropReason::Evicted,
+                    },
+                    &pkt,
+                );
+            }
+        }
+    }
+
+    /// Set netem-style reordering of one direction of a link, effective
+    /// for packets finishing serialization afterwards.
+    pub fn set_reorder(&mut self, link: LinkId, dir: Dir, pct: f64, hold: Duration) {
+        self.links[link.0].dir_mut(dir).cfg.reorder = ReorderModel { pct, hold };
+    }
+
+    /// Set the netem-style duplication probability of one direction of a
+    /// link, effective for packets finishing serialization afterwards.
+    pub fn set_duplicate(&mut self, link: LinkId, dir: Dir, pct: f64) {
+        self.links[link.0].dir_mut(dir).cfg.duplicate_pct = pct;
     }
 
     /// The two endpoint interfaces of a link (A end, B end).
@@ -410,8 +451,34 @@ impl SimCore {
             return;
         }
         let was_idle = !state.busy;
+        let dup_p = state.cfg.duplicate_pct;
         self.trace_event(TraceKind::Enqueue { link: link_id, dir }, &pkt);
+        // netem-style duplication happens at admission (like tc-netem's
+        // enqueue-side duplicate): the copy enters the tail of the same
+        // queue and lives a full enqueue → serialize → deliver life of its
+        // own, so link conservation holds for it like any other packet —
+        // and a copy is never re-trialed. The guard keeps disabled
+        // duplication free of RNG draws.
+        let dup = dup_p > 0.0 && self.rng.chance(dup_p);
+        let copy = dup.then(|| pkt.clone());
         self.links[link_id.0].dir_mut(dir).admit(pkt);
+        if let Some(copy) = copy {
+            if self.links[link_id.0].dir_ref(dir).has_room() {
+                self.trace_event(TraceKind::Enqueue { link: link_id, dir }, &copy);
+                let st = self.links[link_id.0].dir_mut(dir);
+                st.admit(copy);
+                st.stats.duplicated += 1;
+            } else {
+                self.links[link_id.0].dir_mut(dir).count_queue_drop();
+                self.trace_event(
+                    TraceKind::Drop {
+                        link: Some(link_id),
+                        reason: DropReason::QueueFull,
+                    },
+                    &copy,
+                );
+            }
+        }
         if was_idle {
             self.start_tx(link_id, dir);
         }
@@ -514,6 +581,17 @@ impl<'a> Ctx<'a> {
 /// loss models, interface admin, more scheduling).
 type ScriptFn = Box<dyn FnMut(&mut SimCore)>;
 
+/// Ordering policy for [`Simulator::install`]: what to do with a dynamics
+/// script whose entries are not in non-decreasing time order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstallPolicy {
+    /// Stably sort entries by time (ties keep insertion order) — a
+    /// deterministic normalization, never an error.
+    Sort,
+    /// Reject out-of-order scripts with an [`OutOfOrderError`].
+    Strict,
+}
+
 /// The complete simulation.
 pub struct Simulator {
     /// The shared core (public so scenario code can inspect links/stats
@@ -591,30 +669,48 @@ impl Simulator {
         self.core.push(at, SimEvent::Script(idx));
     }
 
-    /// Install a [`DynamicsScript`]: every entry becomes a calendar-queue
-    /// event at its scheduled time. Entries are stably sorted by time
-    /// first (ties keep the order they were added in), so out-of-order
-    /// scripts are normalized deterministically. Call before running; an
-    /// entry scheduled in the simulated past is a scenario bug (debug
+    /// Install a dynamics script — a [`DynamicsScript`] or anything that
+    /// compiles into one, e.g. a [`crate::netem::NetemScript`]. Every
+    /// entry becomes a calendar-queue event at its scheduled time.
+    ///
+    /// The ordering policy decides what happens to out-of-order scripts:
+    /// [`InstallPolicy::Sort`] stably sorts entries by time first (ties
+    /// keep the order they were added in, a deterministic normalization),
+    /// while [`InstallPolicy::Strict`] rejects any script whose entries
+    /// are not already in non-decreasing time order. Call before running;
+    /// an entry scheduled in the simulated past is a scenario bug (debug
     /// assert, same rule as any other event).
-    pub fn install_dynamics(&mut self, script: DynamicsScript) {
+    pub fn install(
+        &mut self,
+        script: impl Into<DynamicsScript>,
+        policy: InstallPolicy,
+    ) -> Result<(), OutOfOrderError> {
+        let script = script.into();
+        if policy == InstallPolicy::Strict {
+            script.validate()?;
+        }
         for entry in script.into_ordered() {
             let idx = self.dynamics.len();
             self.dynamics.push(entry.action);
             self.core.push(entry.at, SimEvent::Dyn(idx));
         }
+        Ok(())
     }
 
-    /// Like [`Simulator::install_dynamics`], but rejects a script whose
-    /// entries are not already in non-decreasing time order instead of
-    /// sorting it.
+    /// Install a [`DynamicsScript`], stably sorting out-of-order entries.
+    #[deprecated(note = "use Simulator::install(script, InstallPolicy::Sort)")]
+    pub fn install_dynamics(&mut self, script: DynamicsScript) {
+        self.install(script, InstallPolicy::Sort)
+            .expect("Sort policy never rejects");
+    }
+
+    /// Install a [`DynamicsScript`], rejecting out-of-order entries.
+    #[deprecated(note = "use Simulator::install(script, InstallPolicy::Strict)")]
     pub fn install_dynamics_strict(
         &mut self,
         script: DynamicsScript,
     ) -> Result<(), OutOfOrderError> {
-        script.validate()?;
-        self.install_dynamics(script);
-        Ok(())
+        self.install(script, InstallPolicy::Strict)
     }
 
     /// Number of nodes in the simulation.
@@ -720,10 +816,13 @@ impl Simulator {
                 // Serializer is free again; decide the packet's fate.
                 self.core.links[link.0].dir_mut(dir).busy = false;
                 let now = self.core.now;
-                let (p, delay) = {
+                let (p, delay, reorder) = {
                     let st = self.core.links[link.0].dir_ref(dir);
-                    (st.cfg.loss.ratio_at(now), st.cfg.delay)
+                    (st.cfg.loss.ratio_at(now), st.cfg.delay, st.cfg.reorder)
                 };
+                // Impairment trials run loss → reorder; each is guarded so
+                // a disabled impairment performs no RNG draw (existing
+                // per-seed trajectories stay bit-identical).
                 let lost = p > 0.0 && self.core.rng.chance(p);
                 if lost {
                     self.core.links[link.0].dir_mut(dir).stats.dropped_random += 1;
@@ -735,8 +834,15 @@ impl Simulator {
                         &pkt,
                     );
                 } else {
+                    let held = reorder.pct > 0.0 && self.core.rng.chance(reorder.pct);
+                    let prop = if held {
+                        self.core.links[link.0].dir_mut(dir).stats.reordered += 1;
+                        delay + reorder.hold
+                    } else {
+                        delay
+                    };
                     self.core
-                        .push(now + delay, SimEvent::Deliver { link, dir, pkt });
+                        .push(now + prop, SimEvent::Deliver { link, dir, pkt });
                 }
                 self.core.start_tx(link, dir);
             }
@@ -820,14 +926,34 @@ impl Simulator {
                     self.core.set_delay(link, d, delay);
                 }
             }
-            DynAction::SetQueue { link, dir, pkts } => {
+            DynAction::SetQueue {
+                link,
+                dir,
+                pkts,
+                evict,
+            } => {
                 for d in dirs(dir) {
-                    self.core.set_queue(link, d, pkts);
+                    self.core.set_queue_policy(link, d, pkts, evict);
                 }
             }
             DynAction::SetLoss { link, dir, loss } => {
                 for d in dirs(dir) {
                     self.core.set_loss(link, d, loss.clone());
+                }
+            }
+            DynAction::SetReorder {
+                link,
+                dir,
+                pct,
+                hold,
+            } => {
+                for d in dirs(dir) {
+                    self.core.set_reorder(link, d, pct, hold);
+                }
+            }
+            DynAction::SetDuplicate { link, dir, pct } => {
+                for d in dirs(dir) {
+                    self.core.set_duplicate(link, d, pct);
                 }
             }
             DynAction::LinkAdmin { link, up } => {
@@ -1155,14 +1281,18 @@ mod tests {
     fn dynamics_set_loss_blocks_delivery_like_inline_scripts() {
         use crate::dynamics::{DynAction, DynamicsScript};
         let (mut sim, a, _b) = two_hosts(4, LinkCfg::mbps_ms(10, 5));
-        sim.install_dynamics(DynamicsScript::new().at(
-            SimTime::ZERO,
-            DynAction::SetLoss {
-                link: LinkId(0),
-                dir: None,
-                loss: LossModel::Bernoulli(1.0),
-            },
-        ));
+        sim.install(
+            DynamicsScript::new().at(
+                SimTime::ZERO,
+                DynAction::SetLoss {
+                    link: LinkId(0),
+                    dir: None,
+                    loss: LossModel::Bernoulli(1.0),
+                },
+            ),
+            InstallPolicy::Sort,
+        )
+        .unwrap();
         sim.run();
         let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
         assert_eq!(ping.got, 0, "full loss installed at t=0 blocks echoes");
@@ -1177,7 +1307,7 @@ mod tests {
         let run = |script: Option<DynamicsScript>| {
             let (mut sim, _a, _b) = two_hosts(1, LinkCfg::new(1_000, Duration::from_millis(10)));
             if let Some(s) = script {
-                sim.install_dynamics(s);
+                sim.install(s, InstallPolicy::Sort).unwrap();
             }
             sim.run().ended_at
         };
@@ -1200,13 +1330,17 @@ mod tests {
     fn dynamics_link_admin_downs_both_ends_and_notifies() {
         use crate::dynamics::{DynAction, DynamicsScript};
         let (mut sim, a, _b) = two_hosts(3, LinkCfg::mbps_ms(10, 5));
-        sim.install_dynamics(DynamicsScript::new().at(
-            SimTime::ZERO,
-            DynAction::LinkAdmin {
-                link: LinkId(0),
-                up: false,
-            },
-        ));
+        sim.install(
+            DynamicsScript::new().at(
+                SimTime::ZERO,
+                DynAction::LinkAdmin {
+                    link: LinkId(0),
+                    up: false,
+                },
+            ),
+            InstallPolicy::Sort,
+        )
+        .unwrap();
         sim.run();
         let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
         assert_eq!(ping.got, 0, "downed link carries nothing");
@@ -1218,7 +1352,11 @@ mod tests {
     fn dynamics_stop_action_requests_stop() {
         use crate::dynamics::{DynAction, DynamicsScript};
         let (mut sim, _a, _b) = two_hosts(5, LinkCfg::mbps_ms(1, 500));
-        sim.install_dynamics(DynamicsScript::new().at(SimTime::from_millis(1), DynAction::Stop));
+        sim.install(
+            DynamicsScript::new().at(SimTime::from_millis(1), DynAction::Stop),
+            InstallPolicy::Sort,
+        )
+        .unwrap();
         let s = sim.run();
         assert_eq!(s.reason, StopReason::Requested);
         assert_eq!(s.ended_at, SimTime::from_millis(1));
@@ -1241,18 +1379,108 @@ mod tests {
         };
         // Strict install rejects…
         let (mut sim, ..) = two_hosts(6, LinkCfg::mbps_ms(10, 5));
-        let err = sim.install_dynamics_strict(script()).unwrap_err();
+        let err = sim.install(script(), InstallPolicy::Strict).unwrap_err();
         assert_eq!(err.index, 1);
         // …lenient install sorts; two runs of the sorted script agree
         // bit-for-bit with each other.
         let run = |seed| {
             let (mut sim, a, _b) = two_hosts(seed, LinkCfg::mbps_ms(10, 5));
-            sim.install_dynamics(script());
+            sim.install(script(), InstallPolicy::Sort).unwrap();
             let s = sim.run();
             let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
             (s.events, s.ended_at, ping.got)
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_install_shims_still_work() {
+        use crate::dynamics::{DynAction, DynamicsScript};
+        let script = || DynamicsScript::new().at(SimTime::from_millis(1), DynAction::Stop);
+        let (mut sim, ..) = two_hosts(8, LinkCfg::mbps_ms(10, 5));
+        sim.install_dynamics(script());
+        assert_eq!(sim.run().reason, StopReason::Requested);
+        let (mut sim, ..) = two_hosts(8, LinkCfg::mbps_ms(10, 5));
+        sim.install_dynamics_strict(script()).unwrap();
+        assert_eq!(sim.run().reason, StopReason::Requested);
+    }
+
+    #[test]
+    fn queue_shrink_keep_does_not_evict_dropnewest_does() {
+        use crate::addr::Addr;
+        use bytes::Bytes;
+        // Build a core with one link and stuff its queue directly.
+        let (mut sim, ..) = two_hosts(9, LinkCfg::mbps_ms(10, 5).queue(10));
+        let mk = || Packet::tcp(Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2), Bytes::new());
+        for _ in 0..6 {
+            let st = sim.core.links[0].dir_mut(Dir::AtoB);
+            st.admit(mk());
+        }
+        // Default policy: shrinking below occupancy keeps queued packets.
+        sim.core.set_queue(LinkId(0), Dir::AtoB, 2);
+        {
+            let st = sim.core.links[0].dir_ref(Dir::AtoB);
+            assert_eq!(st.queue.len(), 6, "Keep never evicts");
+            assert_eq!(st.stats.dropped_evicted, 0);
+            assert!(!st.has_room(), "new bound applies to admissions");
+        }
+        // Explicit DropNewest evicts from the tail down to the new bound.
+        sim.core
+            .set_queue_policy(LinkId(0), Dir::AtoB, 3, Eviction::DropNewest);
+        let st = sim.core.links[0].dir_ref(Dir::AtoB);
+        assert_eq!(st.queue.len(), 3);
+        assert_eq!(st.stats.dropped_evicted, 3);
+    }
+
+    #[test]
+    fn duplicate_reenqueues_and_reorder_holds_back() {
+        // 100 % duplication: the single ping is serialized twice and the
+        // far end sees two copies; link stats stay conserved.
+        let (mut sim, _a, b) = two_hosts(12, LinkCfg::mbps_ms(10, 5).duplicate(1.0));
+        sim.run();
+        let st = sim.core.link_stats(LinkId(0), Dir::AtoB);
+        assert!(st.duplicated > 0, "every tx duplicated once");
+        assert_eq!(st.enqueued, st.delivered, "copy re-enqueues, so conserved");
+        let echo = sim.node(b).as_any().downcast_ref::<Echo>().unwrap();
+        assert!(echo.seen >= 2, "far end saw the duplicate");
+
+        // 100 % reorder with a hold long enough to outlast the Pinger's
+        // 500 ms watchdog timer: delivery shifts by the hold, so the run
+        // ends later and the reordered counter ticks.
+        let base = {
+            let (mut sim, ..) = two_hosts(13, LinkCfg::mbps_ms(10, 5));
+            sim.run().ended_at
+        };
+        let (mut sim, ..) = two_hosts(
+            13,
+            LinkCfg::mbps_ms(10, 5).reorder(1.0, Duration::from_millis(600)),
+        );
+        let held = sim.run().ended_at;
+        assert!(
+            held > base,
+            "hold-back delays the exchange: {held} vs {base}"
+        );
+        assert!(sim.core.link_stats(LinkId(0), Dir::AtoB).reordered > 0);
+    }
+
+    #[test]
+    fn disabled_impairments_draw_no_randomness() {
+        // A run with reorder/duplicate configured at probability zero is
+        // bit-identical to one without the fields touched at all — the
+        // guards must not consume RNG draws.
+        let run = |cfg: LinkCfg| {
+            let (mut sim, a, _b) = two_hosts(14, cfg);
+            let s = sim.run();
+            let ping = sim.node(a).as_any().downcast_ref::<Pinger>().unwrap();
+            (s.events, s.ended_at, ping.got)
+        };
+        let plain = run(LinkCfg::mbps_ms(10, 5).loss(LossModel::Bernoulli(0.2)));
+        let zeroed = run(LinkCfg::mbps_ms(10, 5)
+            .loss(LossModel::Bernoulli(0.2))
+            .reorder(0.0, Duration::from_millis(30))
+            .duplicate(0.0));
+        assert_eq!(plain, zeroed);
     }
 
     #[test]

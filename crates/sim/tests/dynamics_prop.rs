@@ -1,10 +1,10 @@
 //! Property tests for [`DynamicsScript`] install paths: stable ordering of
-//! same-timestamp actions, and `install_dynamics_strict` rejecting exactly
-//! the out-of-order inputs that `install_dynamics` reorders.
+//! same-timestamp actions, and the `InstallPolicy::Strict` policy rejecting
+//! exactly the out-of-order inputs that `InstallPolicy::Sort` reorders.
 
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
-use smapp_sim::{DynAction, DynamicsScript, LinkId, SimTime, Simulator};
+use smapp_sim::{DynAction, DynamicsScript, Eviction, InstallPolicy, LinkId, SimTime, Simulator};
 
 /// Build a script from millisecond timestamps; each action's `pkts` field
 /// encodes its insertion index so ordering is observable after the sort.
@@ -17,6 +17,7 @@ fn script_from(times_ms: &[u64]) -> DynamicsScript {
                 link: LinkId(0),
                 dir: None,
                 pkts: i,
+                evict: Eviction::Keep,
             },
         );
     }
@@ -82,7 +83,7 @@ proptest! {
     ) {
         let strict = {
             let mut sim = Simulator::new(1);
-            sim.install_dynamics_strict(script_from(&times))
+            sim.install(script_from(&times), InstallPolicy::Strict)
         };
         match first_violation(&times) {
             None => prop_assert!(strict.is_ok(), "in-order scripts install strictly"),
@@ -93,6 +94,6 @@ proptest! {
         }
         // The lenient path accepts everything (normalizing deterministically).
         let mut sim = Simulator::new(1);
-        sim.install_dynamics(script_from(&times));
+        sim.install(script_from(&times), InstallPolicy::Sort).unwrap();
     }
 }

@@ -1,8 +1,8 @@
 //! §4.2 — break-before-make backup on a "smartphone".
 //!
 //! The WiFi path degrades to 30 % loss mid-transfer and then loses its
-//! association entirely — both scripted through the deterministic
-//! [`DynamicsScript`] network-dynamics engine. The smart-backup controller
+//! association entirely — both scripted through the typed [`Netem`]
+//! impairment language. The smart-backup controller
 //! watches the paper's `timeout` events; when the backed-off
 //! retransmission timeout exceeds one second (or the WiFi interface dies
 //! under it) it cuts the WiFi subflow and opens one over the cellular
@@ -61,27 +61,19 @@ fn main() {
     let mut sim = net.sim;
     sim.core.set_trace(Box::new(smapp_sim::Oracle::new()));
 
-    // The mobility story, as a deterministic dynamics script: the user
-    // walks away from the access point at t = 1 s, and the radio loses
-    // its association completely at t = 8 s.
-    sim.install_dynamics(
-        DynamicsScript::new()
+    // The mobility story, as a typed netem program: the user walks away
+    // from the access point at t = 1 s, and the radio loses its
+    // association completely at t = 8 s.
+    sim.install(
+        NetemScript::new()
             .at(
                 SimTime::from_secs(1),
-                DynAction::SetLoss {
-                    link: net.link1,
-                    dir: None,
-                    loss: LossModel::Bernoulli(0.30),
-                },
+                Netem::on(net.link1).loss(LossPct::percent(30.0)),
             )
-            .at(
-                SimTime::from_secs(8),
-                DynAction::IfaceAdmin {
-                    iface: net.client_if1,
-                    up: false,
-                },
-            ),
-    );
+            .at(SimTime::from_secs(8), Netem::iface(net.client_if1).down()),
+        InstallPolicy::Sort,
+    )
+    .unwrap();
     println!("scripted: WiFi degrades to 30% loss at t=1s, dies at t=8s");
 
     let summary = sim.run_until(SimTime::from_secs(120));
