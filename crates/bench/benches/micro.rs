@@ -9,7 +9,7 @@ use smapp_mptcp::options::{Dss, DssMapping, MpOption};
 use smapp_mptcp::{LowestRtt, SchedCandidate, Scheduler};
 use smapp_netlink::{decode as nl_decode, encode_event};
 use smapp_sim::{Addr, FlowKey};
-use smapp_tcp::{Reassembly, TcpFlags, TcpHeader, TcpOption, TcpSegment};
+use smapp_tcp::{Reassembly, TcpFlags, TcpHeader, TcpOption, TcpOptions, TcpSegment};
 use std::hint::black_box;
 
 fn bench_tcp_codec(c: &mut Criterion) {
@@ -21,7 +21,7 @@ fn bench_tcp_codec(c: &mut Criterion) {
             ack: 0x0102_0304.into(),
             flags: TcpFlags::ACK,
             window: 65535,
-            options: vec![TcpOption::Mptcp(
+            options: TcpOptions::from([TcpOption::Mptcp(
                 MpOption::Dss(Dss {
                     data_ack: Some(123_456_789),
                     mapping: Some(DssMapping {
@@ -32,7 +32,7 @@ fn bench_tcp_codec(c: &mut Criterion) {
                     data_fin: false,
                 })
                 .encode(),
-            )],
+            )]),
         },
         payload: Bytes::from(vec![0xA5u8; 1400]),
     };

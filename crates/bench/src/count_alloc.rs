@@ -5,8 +5,10 @@
 //! shows up as wall-time only under different heap states or allocators).
 //! Every bench binary installs [`CountingAlloc`] as its `#[global_allocator]`;
 //! the perf harness snapshots [`allocs`] around each single-threaded matrix
-//! cell and reports **allocations per simulated event** in `BENCH_PR3.json`,
-//! so future PRs can see allocator-pressure regressions, not just wall-time.
+//! cell and reports **allocations per simulated event** in the committed
+//! `BENCH_*.json` trajectory, so future PRs can see allocator-pressure
+//! regressions, not just wall-time — and `gate::ALLOC_CEILINGS` fails the
+//! build when a scenario's figure regresses past its committed ceiling.
 //!
 //! The counter is a process-wide relaxed atomic: exact in the `--jobs 1`
 //! measurement pass (one cell at a time on one thread), and deliberately

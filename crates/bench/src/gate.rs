@@ -14,7 +14,15 @@
 //!   ([`SMOKE_BASELINE_EVENTS_PER_SEC`]). CI runners vary wildly, so the
 //!   default threshold only catches order-of-magnitude collapses
 //!   (accidental debug builds, quadratic regressions), not percent-level
-//!   noise — the honest perf numbers live in `BENCH_PR9.json`.
+//!   noise — the honest perf numbers live in `BENCH_PR10.json`.
+//! * The fig2c/refresh row may not drop more than [`FIG2C_MAX_DROP`]
+//!   below the best committed BENCH figure
+//!   ([`FIG2C_BEST_COMMITTED_EVENTS_PER_SEC`]) — the **ratchet** that
+//!   would have caught the PR4→PR9 creeping collapse. Allocation counts
+//!   are wall-clock-independent, so each scenario row must also stay
+//!   under its committed `allocs_per_event` ceiling
+//!   ([`ALLOC_CEILINGS`]). Both checks are disabled together with the
+//!   aggregate floor when `min_ratio` is `0.0` (instrumented builds).
 //! * Every scenario registered in [`crate::scenarios::ALL`] must appear in
 //!   the report — a new scenario cannot silently skip benchmarking.
 //! * The generated-scenario fuzz corpus must have run with **zero**
@@ -36,16 +44,57 @@
 /// Aggregate smoke events/sec committed as the gate baseline, measured
 /// with `perf_report --smoke --jobs 2` on the reference machine.
 /// Update when the smoke workload composition changes materially — last
-/// re-measured after PR 5 wired the always-on protocol-invariant oracle
-/// (tracing + per-segment option walk) into every scenario, which costs
-/// about a third of the PR-4 figure of 2.4M.
-pub const SMOKE_BASELINE_EVENTS_PER_SEC: f64 = 1_500_000.0;
+/// re-measured after the PR-10 zero-alloc hot-path work (pooled buffers,
+/// SoA calendar queue, scratch-buffer pump loop).
+pub const SMOKE_BASELINE_EVENTS_PER_SEC: f64 = 1_350_000.0;
 
 /// Default minimum fraction of [`SMOKE_BASELINE_EVENTS_PER_SEC`] a smoke
 /// run must reach: generous enough for slow shared CI runners, tight
 /// enough to catch an accidental debug build (~30× slower) or an
 /// algorithmic collapse.
 pub const DEFAULT_MIN_RATIO: f64 = 0.05;
+
+/// Best committed fig2c/refresh single-thread events/sec among the
+/// BENCH_*.json files measured under the current conditions — always-on
+/// protocol-invariant oracle plus the counting allocator, i.e. PR 5
+/// onward; the PR 2–4 figures predate both layers and are not comparable.
+/// Recorded in `BENCH_PR10.json`. This is the **ratchet**: raise it when
+/// a PR commits a faster figure, never lower it to absorb a regression.
+pub const FIG2C_BEST_COMMITTED_EVENTS_PER_SEC: f64 = 1_582_459.0;
+
+/// Maximum fraction the report's fig2c/refresh row may drop below
+/// [`FIG2C_BEST_COMMITTED_EVENTS_PER_SEC`] before the ratchet fails the
+/// gate. 25% absorbs run-to-run noise on the reference machine while
+/// catching the PR4→PR9 class of creeping regression (−79%) immediately.
+pub const FIG2C_MAX_DROP: f64 = 0.25;
+
+/// Per-scenario `allocs_per_event` ceilings, pinned just above the PR-10
+/// measured values (smoke and full mode, whichever is higher — short
+/// smoke runs amortize setup allocations over fewer events). Keyed by
+/// scenario name; every variant of a scenario shares its ceiling. The
+/// tier-1 `alloc_ceilings` test re-measures each scenario against this
+/// table, and [`check`] enforces it on every emitted report.
+pub const ALLOC_CEILINGS: &[(&str, f64)] = &[
+    ("fig2a", 0.35),
+    ("fig2b", 0.25),
+    ("fig2c", 0.20),
+    ("fig3", 0.15),
+    ("sec42", 0.15),
+    ("fleet", 0.55),
+    ("handover", 0.20),
+    ("flap", 0.20),
+    ("middlebox", 0.20),
+    ("cdn", 1.10),
+    ("fuzz", 0.90),
+];
+
+/// The committed allocs/event ceiling for a scenario (any variant).
+pub fn alloc_ceiling(scenario: &str) -> Option<f64> {
+    ALLOC_CEILINGS
+        .iter()
+        .find(|(name, _)| *name == scenario)
+        .map(|(_, ceiling)| *ceiling)
+}
 
 /// Gate verdict: what was read and which invariants failed.
 #[derive(Debug)]
@@ -126,6 +175,7 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
     let mut scenario_names = Vec::new();
     let mut events_total = 0.0f64;
     let mut wall_total = 0.0f64;
+    let mut fig2c_events_per_sec = None;
     for line in json.lines() {
         let line = line.trim_start();
         if !line.starts_with('{') || !line.contains("\"workload\":") {
@@ -142,6 +192,36 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
             .unwrap_or(0.0);
         events_total += events;
         wall_total += wall;
+        if min_ratio > 0.0 {
+            // Per-scenario allocator-pressure ceiling: the measurement
+            // pass reports allocations/event per row; a breach is a
+            // hot-path regression regardless of wall-clock. Disabled
+            // together with the throughput checks (`min_ratio` 0.0) for
+            // instrumented/debug runs, where concurrent test cells share
+            // the process-wide counter.
+            let scenario = name.split('/').next().unwrap_or(&name);
+            let allocs_per_event: Option<f64> =
+                raw_value(line, "allocs_per_event").and_then(|v| v.parse().ok());
+            match (alloc_ceiling(scenario), allocs_per_event) {
+                (Some(ceiling), Some(ape)) => {
+                    if ape > ceiling {
+                        failures.push(format!(
+                            "scenario {name}: {ape:.2} allocs/event breaches the \
+                             committed ceiling {ceiling:.2} — the hot path \
+                             regressed allocator pressure"
+                        ));
+                    }
+                }
+                (Some(_), None) => failures.push(format!(
+                    "scenario {name} carries no allocs_per_event — allocator \
+                     pressure was not measured"
+                )),
+                (None, _) => {}
+            }
+        }
+        if name == "fig2c/refresh" && wall > 0.0 {
+            fig2c_events_per_sec = Some(events / wall);
+        }
         scenario_names.push(name);
     }
     let events_per_sec = if wall_total > 0.0 {
@@ -149,6 +229,29 @@ pub fn check(json: &str, min_ratio: f64) -> GateReport {
     } else {
         0.0
     };
+
+    // The fig2c throughput ratchet: the reference row may not drop more
+    // than [`FIG2C_MAX_DROP`] below the best committed BENCH_*.json
+    // figure. Disabled together with the aggregate floor (`min_ratio`
+    // 0.0) for instrumented/debug builds, where wall-clock means nothing.
+    if min_ratio > 0.0 {
+        let ratchet_floor = FIG2C_BEST_COMMITTED_EVENTS_PER_SEC * (1.0 - FIG2C_MAX_DROP);
+        match fig2c_events_per_sec {
+            Some(eps) if eps < ratchet_floor => failures.push(format!(
+                "fig2c/refresh at {eps:.0} events/sec dropped more than \
+                 {:.0}% below the best committed figure \
+                 {FIG2C_BEST_COMMITTED_EVENTS_PER_SEC:.0} (ratchet floor \
+                 {ratchet_floor:.0})",
+                FIG2C_MAX_DROP * 100.0
+            )),
+            Some(_) => {}
+            None => failures.push(
+                "report carries no fig2c/refresh row — the ratchet \
+                 reference scenario was not measured"
+                    .to_string(),
+            ),
+        }
+    }
 
     for want in crate::scenarios::ALL {
         if !scenario_names
@@ -273,8 +376,10 @@ mod tests {
         s.push_str("  \"scenarios\": [\n");
         let n = crate::scenarios::ALL.len();
         for (i, name) in crate::scenarios::ALL.iter().enumerate() {
+            // The ratchet keys on the real fig2c/refresh row name.
+            let variant = if *name == "fig2c" { "refresh" } else { "v" };
             s.push_str(&format!(
-                "    {{\"name\": \"{name}/v\", \"workload\": \"w\", \"runs\": 1, \
+                "    {{\"name\": \"{name}/{variant}\", \"workload\": \"w\", \"runs\": 1, \
                  \"wall_s\": 0.5000, \"events\": {events}, \"events_per_sec\": 1, \
                  \"allocs_per_event\": 0.1, \"peak_queue\": 10, \"sim_s\": 1.0}}{}\n",
                 if i + 1 < n { "," } else { "" }
@@ -329,6 +434,96 @@ mod tests {
         let slow = sample("true", "null", 100);
         assert!(!check(&slow, DEFAULT_MIN_RATIO).passed());
         assert!(check(&slow, 0.0).passed());
+    }
+
+    /// Rewrite one field on the fig2c/refresh row only, leaving every
+    /// other row untouched.
+    fn patch_fig2c_row(json: &str, from: &str, to: &str) -> String {
+        json.lines()
+            .map(|l| {
+                if l.contains("fig2c/refresh") {
+                    l.replace(from, to)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn fig2c_ratchet_fails_on_30_percent_regression() {
+        // 553_861 events over 0.5 s ≈ 1_107_722 events/sec — a 30% drop
+        // from the best committed figure, below the 25% ratchet floor.
+        // The other rows keep 20M events/sec, so the aggregate floor
+        // stays green and only the ratchet can fail.
+        let json = sample("true", "null", 10_000_000);
+        let regressed = patch_fig2c_row(&json, "\"events\": 10000000", "\"events\": 553861");
+        let r = check(&regressed, DEFAULT_MIN_RATIO);
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("ratchet floor")),
+            "failures: {:?}",
+            r.failures
+        );
+        // Ratio 0.0 (instrumented builds) disables the ratchet.
+        assert!(check(&regressed, 0.0).passed());
+        // A 20% drop stays inside the 25% allowance.
+        let ok = patch_fig2c_row(&json, "\"events\": 10000000", "\"events\": 633000");
+        assert!(check(&ok, DEFAULT_MIN_RATIO).passed());
+    }
+
+    #[test]
+    fn missing_fig2c_reference_row_fails_ratchet() {
+        let renamed = sample("true", "null", 10_000_000).replace("fig2c/refresh", "fig2c/other");
+        let r = check(&renamed, DEFAULT_MIN_RATIO);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("no fig2c/refresh row")));
+    }
+
+    #[test]
+    fn alloc_ceiling_breach_fails() {
+        // 0.50 allocs/event against fig2c's 0.20 ceiling.
+        let json = sample("true", "null", 10_000_000);
+        let hot = patch_fig2c_row(
+            &json,
+            "\"allocs_per_event\": 0.1",
+            "\"allocs_per_event\": 0.5",
+        );
+        let r = check(&hot, DEFAULT_MIN_RATIO);
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("breaches the committed ceiling")),
+            "failures: {:?}",
+            r.failures
+        );
+        // Ratio 0.0 (instrumented builds, shared alloc counter) disables it.
+        assert!(check(&hot, 0.0).passed());
+    }
+
+    #[test]
+    fn missing_allocs_per_event_fails() {
+        let json = sample("true", "null", 10_000_000);
+        let unmeasured = patch_fig2c_row(&json, "\"allocs_per_event\": 0.1, ", "");
+        let r = check(&unmeasured, DEFAULT_MIN_RATIO);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("allocator pressure was not measured")));
+    }
+
+    #[test]
+    fn ceiling_table_covers_every_registered_scenario() {
+        for name in crate::scenarios::ALL {
+            assert!(
+                alloc_ceiling(name).is_some(),
+                "scenario {name} has no committed allocs/event ceiling"
+            );
+        }
     }
 
     #[test]

@@ -160,7 +160,7 @@ mod tests {
     use bytes::Bytes;
     use smapp_mptcp::options::{Dss, DssMapping};
     use smapp_sim::{Addr, Dir, Packet};
-    use smapp_tcp::{TcpFlags, TcpHeader, TcpOption};
+    use smapp_tcp::{TcpFlags, TcpHeader, TcpOption, TcpOptions};
 
     fn data_pkt(dsn: u64, len: u16) -> Packet {
         let seg = TcpSegment {
@@ -168,14 +168,14 @@ mod tests {
                 src_port: 1,
                 dst_port: 2,
                 flags: TcpFlags::ACK,
-                options: vec![TcpOption::Mptcp(
+                options: TcpOptions::from([TcpOption::Mptcp(
                     MpOption::Dss(Dss {
                         data_ack: None,
                         mapping: Some(DssMapping { dsn, ssn: 1, len }),
                         data_fin: false,
                     })
                     .encode(),
-                )],
+                )]),
                 ..Default::default()
             },
             payload: Bytes::from(vec![0u8; len as usize]),
@@ -193,7 +193,7 @@ mod tests {
                 src_port: 1,
                 dst_port: 2,
                 flags: TcpFlags::SYN,
-                options: vec![TcpOption::Mptcp(opt.encode())],
+                options: TcpOptions::from([TcpOption::Mptcp(opt.encode())]),
                 ..Default::default()
             },
             payload: Bytes::new(),

@@ -1,0 +1,143 @@
+//! Tier-1 allocator-pressure regression test.
+//!
+//! Installs the counting allocator and re-runs every registered scenario
+//! in smoke mode, asserting each one's measured allocations per simulated
+//! event stays under the ceiling committed in
+//! [`smapp_bench::gate::ALLOC_CEILINGS`]. This is the tier-1 twin of the
+//! CI `perf_gate`: the gate reads the numbers out of a release
+//! `perf_report`, this test re-measures them from scratch on every
+//! `cargo test`. Allocation counts are deterministic per cell (unlike
+//! wall-clock), so the assertions hold in debug builds too.
+//!
+//! The second half proves the protocol-invariant oracle itself is
+//! allocation-free on its clean path: a synthetic clean trace stream
+//! (valid TCP segments carrying DSS mappings, link-conserving event
+//! order) must not allocate at all after the first-packet warmup.
+//!
+//! Both measurements live in ONE `#[test]` so nothing else in this
+//! binary allocates concurrently while a window is being measured.
+
+use bytes::Bytes;
+use smapp_bench::count_alloc::{self, CountingAlloc};
+use smapp_bench::gate::alloc_ceiling;
+use smapp_bench::perf::paper_matrix;
+use smapp_sim::trace::{TraceEvent, TraceKind, TraceSink};
+use smapp_sim::{Addr, Dir, IfaceId, LinkId, NodeId, Oracle, Packet, SimTime};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A valid 36-byte TCP header (offset 9 words) with one kind-30 DSS
+/// option carrying a mapping for `payload_len` bytes, followed by that
+/// payload. The oracle's clean path walks exactly this shape on every
+/// data segment of a real run.
+fn dss_data_segment(payload_len: usize) -> Bytes {
+    let mut b = vec![0u8; 36 + payload_len];
+    b[0..2].copy_from_slice(&4000u16.to_be_bytes()); // src port
+    b[2..4].copy_from_slice(&80u16.to_be_bytes()); // dst port
+    b[12] = 9 << 4; // data offset: 36 bytes
+    b[13] = 0x10; // ACK
+                  // Options: kind 30, len 14, subtype DSS (0x2), flags 0x04 (mapping
+                  // present, 4-byte DSN) -> DSN(4) SSN(4) len(2); then two NOPs.
+    b[20] = 30;
+    b[21] = 14;
+    b[22] = 0x20;
+    b[23] = 0x04;
+    b[32..34].copy_from_slice(&(payload_len as u16).to_be_bytes());
+    b[34] = 1;
+    b[35] = 1;
+    Bytes::from(b)
+}
+
+/// Drive one packet through the conserving event sequence the simulator
+/// emits: Send at the host, Enqueue/TxStart on the link, Deliver at the
+/// far end.
+fn record_clean_hop(oracle: &mut Oracle, pkt: &Packet, t_us: u64) {
+    let kinds = [
+        TraceKind::Send {
+            node: NodeId(0),
+            iface: IfaceId(0),
+        },
+        TraceKind::Enqueue {
+            link: LinkId(0),
+            dir: Dir::AtoB,
+        },
+        TraceKind::TxStart {
+            link: LinkId(0),
+            dir: Dir::AtoB,
+        },
+        TraceKind::Deliver {
+            link: LinkId(0),
+            iface: IfaceId(1),
+            node: NodeId(1),
+        },
+    ];
+    for (i, kind) in kinds.into_iter().enumerate() {
+        oracle.record(&TraceEvent {
+            at: SimTime::from_micros(t_us + i as u64),
+            kind,
+            pkt,
+        });
+    }
+}
+
+#[test]
+fn scenarios_stay_under_committed_alloc_ceilings_and_oracle_is_clean() {
+    // ---- Part 1: every registered scenario under its ceiling. ----
+    // jobs = 1: the process-wide counter is exact when cells run one at
+    // a time.
+    let results = paper_matrix(true).run(1);
+    assert!(!results.is_empty(), "smoke matrix produced no cells");
+
+    let mut per_scenario: Vec<(&'static str, u64, u64)> = Vec::new();
+    for r in &results {
+        match per_scenario.iter_mut().find(|(s, _, _)| *s == r.scenario) {
+            Some((_, allocs, events)) => {
+                *allocs += r.allocs;
+                *events += r.run.summary.events;
+            }
+            None => per_scenario.push((r.scenario, r.allocs, r.run.summary.events)),
+        }
+    }
+
+    for (scenario, allocs, events) in &per_scenario {
+        let ceiling = alloc_ceiling(scenario)
+            .unwrap_or_else(|| panic!("scenario {scenario} has no committed ceiling"));
+        assert!(*events > 0, "scenario {scenario} processed zero events");
+        let per_event = *allocs as f64 / *events as f64;
+        assert!(
+            per_event <= ceiling,
+            "scenario {scenario}: {per_event:.3} allocs/event breaches the \
+             committed ceiling {ceiling:.2} ({allocs} allocations over \
+             {events} events) — the hot path regressed allocator pressure"
+        );
+    }
+
+    // ---- Part 2: the oracle's clean path allocates nothing. ----
+    let mut oracle = Oracle::new();
+    let pkt = Packet::tcp(
+        Addr::new(1, 0, 0, 1),
+        Addr::new(1, 0, 0, 2),
+        dss_data_segment(1000),
+    );
+    // Warmup: the first hop may grow the per-link ledger.
+    record_clean_hop(&mut oracle, &pkt, 0);
+
+    let before = count_alloc::allocs();
+    for i in 1..=10_000u64 {
+        record_clean_hop(&mut oracle, &pkt, i * 10);
+    }
+    let after = count_alloc::allocs();
+    assert!(
+        oracle.is_clean(),
+        "synthetic clean stream raised violations: {:?}",
+        oracle.violations()
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "Oracle::record allocated {} times across 40,000 clean-path events \
+         — the always-on oracle must be free on the clean path",
+        after - before
+    );
+}

@@ -22,7 +22,7 @@ use bytes::Bytes;
 use smapp_sim::{Addr, SimTime};
 use smapp_tcp::{
     lia_alpha, CongestionControl, Lia, Reno, RtoState, StreamTap, TcpFlags, TcpHeader, TcpInfo,
-    TcpOption, TcpSegment,
+    TcpOption, TcpOptions, TcpSegment,
 };
 
 use crate::app::{App, AppCtx};
@@ -158,6 +158,11 @@ pub struct Connection {
     /// Pending reinjection ranges: start -> end (meta offsets).
     reinject: BTreeMap<u64, u64>,
     peer_window: u64,
+    /// Scratch for [`Connection::pump`]'s candidate list; capacity is
+    /// retained across events so the pump loop does not allocate.
+    sched_scratch: Vec<SchedCandidate>,
+    /// Scratch for [`Connection::update_coupling`]'s per-subflow inputs.
+    coupling_scratch: Vec<(u64, u64)>,
 
     // --- addresses ---
     /// Remote addresses learned from ADD_ADDR: (id, addr, port).
@@ -346,6 +351,8 @@ impl Connection {
             scheduler: by_name(cfg.scheduler).expect("unknown scheduler in config"),
             reinject: BTreeMap::new(),
             peer_window: 64 * 1024,
+            sched_scratch: Vec::new(),
+            coupling_scratch: Vec::new(),
             remote_addrs: Vec::new(),
             initial_remote: (Addr::UNSPECIFIED, 0),
             next_local_addr_id: 1,
@@ -517,10 +524,10 @@ impl Connection {
                 nonce: sf.nonce_local,
             })
         };
-        let mut options = vec![
+        let mut options = TcpOptions::from([
             TcpOption::Mss(cfg.mss as u16),
             TcpOption::WindowScale(self.wscale),
-        ];
+        ]);
         if let Some(mp) = mp {
             options.push(TcpOption::Mptcp(mp.encode()));
         }
@@ -566,10 +573,10 @@ impl Connection {
                 nonce: sf.nonce_local,
             })
         };
-        let mut options = vec![
+        let mut options = TcpOptions::from([
             TcpOption::Mss(cfg.mss as u16),
             TcpOption::WindowScale(self.wscale),
-        ];
+        ]);
         if let Some(mp) = mp {
             options.push(TcpOption::Mptcp(mp.encode()));
         }
@@ -604,7 +611,7 @@ impl Connection {
                 hmac: join_hmac_a(self.local_key, rk, sf.nonce_local, sf.nonce_remote),
             })
         };
-        let mut options = Vec::new();
+        let mut options = TcpOptions::new();
         if let Some(mp) = mp {
             options.push(TcpOption::Mptcp(mp.encode()));
         }
@@ -892,14 +899,14 @@ impl Connection {
                         ..TcpFlags::ACK
                     },
                     window,
-                    options: vec![TcpOption::Mptcp(
+                    options: TcpOptions::from([TcpOption::Mptcp(
                         MpOption::Dss(Dss {
                             data_ack: Some(data_ack),
                             mapping,
                             data_fin: tag.data_fin,
                         })
                         .encode(),
-                    )],
+                    )]),
                 },
                 payload,
             };
@@ -1066,24 +1073,27 @@ impl Connection {
     // ------------------------------------------------------------------
 
     /// Candidates for the scheduler: established, able to carry data, with
-    /// congestion window space; backups filtered per RFC 6824.
-    fn sched_candidates(&self) -> Vec<SchedCandidate> {
+    /// congestion window space; backups filtered per RFC 6824. Fills the
+    /// caller's buffer so the per-segment pump loop reuses one allocation.
+    fn fill_sched_candidates(&self, out: &mut Vec<SchedCandidate>) {
+        out.clear();
         let any_regular_alive = self
             .subflows
             .iter()
             .any(|s| s.state == SfState::Established && !s.backup && s.can_carry_data());
-        self.subflows
-            .iter()
-            .filter(|s| s.can_carry_data() && s.cwnd_space() > 0)
-            .filter(|s| !s.backup || !any_regular_alive)
-            .map(|s| SchedCandidate {
-                id: s.id,
-                srtt: s.rtt.srtt(),
-                cwnd_space: s.cwnd_space(),
-                in_flight: s.flight.bytes_in_flight(),
-                backup: s.backup,
-            })
-            .collect()
+        out.extend(
+            self.subflows
+                .iter()
+                .filter(|s| s.can_carry_data() && s.cwnd_space() > 0)
+                .filter(|s| !s.backup || !any_regular_alive)
+                .map(|s| SchedCandidate {
+                    id: s.id,
+                    srtt: s.rtt.srtt(),
+                    cwnd_space: s.cwnd_space(),
+                    in_flight: s.flight.bytes_in_flight(),
+                    backup: s.backup,
+                }),
+        );
     }
 
     /// Drive transmission: reinjections first, then new data, then the
@@ -1094,8 +1104,9 @@ impl Connection {
             return;
         }
         let mss = self.cfg_mss as u32;
+        let mut cands = std::mem::take(&mut self.sched_scratch);
         loop {
-            let cands = self.sched_candidates();
+            self.fill_sched_candidates(&mut cands);
             if cands.is_empty() {
                 break;
             }
@@ -1182,6 +1193,7 @@ impl Connection {
             }
             break;
         }
+        self.sched_scratch = cands;
         self.update_coupling();
         self.maybe_close_subflows(env, events);
         let _ = cfg;
@@ -1213,9 +1225,9 @@ impl Connection {
         );
         sf.snd_off += range.len as u64;
         let options = if self.fallback {
-            Vec::new()
+            TcpOptions::new()
         } else {
-            vec![TcpOption::Mptcp(
+            TcpOptions::from([TcpOption::Mptcp(
                 MpOption::Dss(Dss {
                     data_ack: Some(data_ack),
                     mapping: Some(DssMapping {
@@ -1226,7 +1238,7 @@ impl Connection {
                     data_fin,
                 })
                 .encode(),
-            )]
+            )])
         };
         let sf = &self.subflows[id as usize];
         let seg = TcpSegment {
@@ -1265,7 +1277,7 @@ impl Connection {
                 ack: sf.wire_ack().into(),
                 flags: TcpFlags::ACK,
                 window,
-                options: vec![TcpOption::Mptcp(
+                options: TcpOptions::from([TcpOption::Mptcp(
                     MpOption::Dss(Dss {
                         data_ack: Some(data_ack),
                         mapping: Some(DssMapping {
@@ -1276,7 +1288,7 @@ impl Connection {
                         data_fin: true,
                     })
                     .encode(),
-                )],
+                )]),
             },
             payload: Bytes::new(),
         };
@@ -1290,16 +1302,16 @@ impl Connection {
         let window = self.advertised_window_scaled();
         let sf = &self.subflows[id as usize];
         let mut options = if self.fallback {
-            Vec::new()
+            TcpOptions::new()
         } else {
-            vec![TcpOption::Mptcp(
+            TcpOptions::from([TcpOption::Mptcp(
                 MpOption::Dss(Dss {
                     data_ack: Some(data_ack),
                     mapping: None,
                     data_fin: false,
                 })
                 .encode(),
-            )]
+            )])
         };
         for e in extra {
             options.push(TcpOption::Mptcp(e.encode()));
@@ -1340,14 +1352,14 @@ impl Connection {
                         ..TcpFlags::ACK
                     },
                     window,
-                    options: vec![TcpOption::Mptcp(
+                    options: TcpOptions::from([TcpOption::Mptcp(
                         MpOption::Dss(Dss {
                             data_ack: Some(data_ack),
                             mapping: None,
                             data_fin: false,
                         })
                         .encode(),
-                    )],
+                    )]),
                 },
                 payload: Bytes::new(),
             },
@@ -1359,27 +1371,29 @@ impl Connection {
         if !self.coupled_cc {
             return;
         }
-        let inputs: Vec<(u64, u64)> = self
-            .subflows
-            .iter()
-            .filter(|s| s.state == SfState::Established)
-            .map(|s| {
-                (
-                    s.cc.cwnd(),
-                    s.rtt.srtt().map_or(100_000, |d| d.as_micros() as u64),
-                )
-            })
-            .collect();
-        if inputs.len() < 2 {
-            return;
-        }
-        let alpha = lia_alpha(&inputs);
-        let total: u64 = inputs.iter().map(|(c, _)| c).sum();
-        for s in &mut self.subflows {
-            if s.state == SfState::Established {
-                s.cc.set_coupling(alpha, total);
+        let mut inputs = std::mem::take(&mut self.coupling_scratch);
+        inputs.clear();
+        inputs.extend(
+            self.subflows
+                .iter()
+                .filter(|s| s.state == SfState::Established)
+                .map(|s| {
+                    (
+                        s.cc.cwnd(),
+                        s.rtt.srtt().map_or(100_000, |d| d.as_micros() as u64),
+                    )
+                }),
+        );
+        if inputs.len() >= 2 {
+            let alpha = lia_alpha(&inputs);
+            let total: u64 = inputs.iter().map(|(c, _)| c).sum();
+            for s in &mut self.subflows {
+                if s.state == SfState::Established {
+                    s.cc.set_coupling(alpha, total);
+                }
             }
         }
+        self.coupling_scratch = inputs;
     }
 
     // ------------------------------------------------------------------
@@ -1783,12 +1797,10 @@ impl Connection {
             }
             let sf = &mut self.subflows[id as usize];
             sf.reasm.insert(off, seg.payload.clone());
-            // Pop in-order subflow bytes and lift them to the meta level.
-            // next_expected *before* the pop is the subflow offset of the
-            // first popped byte.
-            let mut ssn = sf.reasm.next_expected();
-            let chunks = sf.reasm.pop_ready();
-            for chunk in chunks {
+            // Pop in-order subflow bytes and lift them to the meta level;
+            // each popped chunk carries the subflow offset of its first
+            // byte.
+            while let Some((ssn, chunk)) = self.subflows[id as usize].reasm.pop_next() {
                 let mut inner_off = 0usize;
                 while inner_off < chunk.len() {
                     let at = ssn + inner_off as u64;
@@ -1821,7 +1833,6 @@ impl Connection {
                         }
                     }
                 }
-                ssn += chunk.len() as u64;
             }
             let sf = &mut self.subflows[id as usize];
             sf.gc_recv_maps();
@@ -2017,8 +2028,7 @@ impl Connection {
 
     /// Insert-order delivery to the application.
     fn deliver_meta(&mut self, env: &mut StackEnv<'_>) {
-        let chunks = self.meta_recv.pop_ready();
-        for c in chunks {
+        while let Some((_, c)) = self.meta_recv.pop_next() {
             self.stats.bytes_received += c.len() as u64;
             self.stats.tap_recvd.update(&c);
             self.app_event_data(env, c);
@@ -2200,7 +2210,7 @@ impl Connection {
                     ack: sf.wire_ack().into(),
                     flags: TcpFlags::RST,
                     window: 0,
-                    options: Vec::new(),
+                    options: TcpOptions::new(),
                 },
                 payload: Bytes::new(),
             };

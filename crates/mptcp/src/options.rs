@@ -10,8 +10,9 @@
 //! no checksum field. Data sequence numbers and data ACKs always use the
 //! 8-byte form on encode; the 4-byte forms are accepted on decode.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::BufMut;
 use smapp_sim::Addr;
+use smapp_tcp::OptBytes;
 
 /// MPTCP protocol version we speak (RFC 6824 = version 0).
 pub const MPTCP_VERSION: u8 = 0;
@@ -171,8 +172,12 @@ const DSS_FLAG_DATA_FIN: u8 = 0x10;
 
 impl MpOption {
     /// Encode to the option payload carried inside TCP option kind 30.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(24);
+    ///
+    /// Returns inline fixed-capacity bytes: MPTCP option bodies top out at
+    /// 22 bytes (JoinAck), well under the 38-byte [`OptBytes`] limit, so
+    /// encoding allocates nothing.
+    pub fn encode(&self) -> OptBytes {
+        let mut b = OptBytes::new();
         match self {
             MpOption::Capable {
                 version,
@@ -273,7 +278,7 @@ impl MpOption {
                 b.put_u64(*key);
             }
         }
-        b.freeze()
+        b
     }
 
     /// Decode from the payload of TCP option kind 30.
@@ -584,10 +589,10 @@ mod tests {
         };
         let seg = TcpSegment {
             hdr: TcpHeader {
-                options: vec![TcpOption::Mptcp(mp.encode())],
+                options: smapp_tcp::TcpOptions::from([TcpOption::Mptcp(mp.encode())]),
                 ..Default::default()
             },
-            payload: Bytes::new(),
+            payload: bytes::Bytes::new(),
         };
         let wire = seg.encode().unwrap();
         let back = TcpSegment::decode(&wire).unwrap();

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use smapp_sim::{Addr, FxHashMap, FxHashSet, IcmpMsg, Packet, PROTO_ICMP, PROTO_TCP};
-use smapp_tcp::{SeqNum, TcpFlags, TcpHeader, TcpInfo, TcpSegment};
+use smapp_tcp::{SeqNum, TcpFlags, TcpHeader, TcpInfo, TcpOptions, TcpSegment};
 
 use crate::app::App;
 use crate::config::StackConfig;
@@ -289,7 +289,7 @@ impl HostStack {
                 ),
                 flags: TcpFlags::RST,
                 window: 0,
-                options: Vec::new(),
+                options: TcpOptions::new(),
             },
             payload: Bytes::new(),
         };

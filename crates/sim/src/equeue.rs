@@ -2,15 +2,23 @@
 //!
 //! The run loop's innermost operations are "schedule an event a short time
 //! from now" and "pop the earliest event". A single `BinaryHeap` pays
-//! `O(log n)` sifts (moving whole [`Scheduled`] entries, packets included)
-//! on every push and pop. Almost all events in this simulator land within a
-//! few link delays of `now`, so [`EventQueue`] keeps a ring of fixed-width
-//! time buckets in front of the heap:
+//! `O(log n)` sifts on every push and pop. Almost all events in this
+//! simulator land within a few link delays of `now`, so [`EventQueue`]
+//! keeps a ring of fixed-width time buckets in front of the heap:
 //!
 //! * pushes into the near future append to an unsorted bucket — `O(1)`;
 //! * pushes inside the already-open bucket go to a (tiny) `current` heap;
 //! * far-future events (RTO timers, scripted scenario changes) overflow to
 //!   a regular binary heap and migrate into the ring as the wheel turns.
+//!
+//! # Struct-of-arrays layout
+//!
+//! Events themselves (which can embed a whole packet) live in a slab and
+//! are addressed by slot; the heaps and ring buckets move only 24-byte
+//! [`Key`]s. Heap sifts therefore shuffle keys, not payloads, and opening
+//! a ring bucket heapifies the whole batch in `O(n)` (`BinaryHeap::from`)
+//! instead of `n` sifting pushes — the spent heap's allocation is recycled
+//! into the emptied bucket, so the steady state allocates nothing.
 //!
 //! Ordering is **exactly** the `(at, seq)` order a single heap would
 //! produce: the structures partition time (`current` < ring < overflow),
@@ -31,39 +39,52 @@ const BUCKET_SHIFT: u32 = 20;
 /// only RTO-scale timers overflow.
 const NUM_BUCKETS: usize = 64;
 
-/// An entry in the event queue. Ties are broken by insertion order (`seq`)
-/// so the simulation is fully deterministic.
+/// An entry popped from the event queue. Ties are broken by insertion
+/// order (`seq`) so the simulation is fully deterministic.
 pub(crate) struct Scheduled<E> {
     pub at: SimTime,
+    /// Insertion-order tie-breaker; the run loop ignores it, the ordering
+    /// tests compare it against the reference model.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub seq: u64,
     pub ev: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+/// What the heaps and ring buckets actually move: the ordering fields plus
+/// a slab slot. The event payload never travels through a sift.
+#[derive(Clone, Copy)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
+impl Eq for Key {}
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Scheduled<E> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// Calendar queue over [`Scheduled`] entries; see the module docs.
+/// Calendar queue over slab-backed events; see the module docs.
 pub(crate) struct EventQueue<E> {
-    /// Events with `at < open_end`, heap-ordered. The only structure pops
+    /// Keys with `at < open_end`, heap-ordered. The only structure pops
     /// come from.
-    current: BinaryHeap<Reverse<Scheduled<E>>>,
+    current: BinaryHeap<Reverse<Key>>,
     /// Unsorted buckets; bucket `(head + k) % NUM_BUCKETS` covers times
-    /// `[open_end + k·W, open_end + (k+1)·W)`.
-    ring: Vec<Vec<Scheduled<E>>>,
+    /// `[open_end + k·W, open_end + (k+1)·W)`. Stored pre-wrapped in
+    /// `Reverse` so a bucket converts into the min-heap without a remap.
+    ring: Vec<Vec<Reverse<Key>>>,
     /// Ring bucket that will be opened next.
     head: usize,
     /// Boundary between `current` and the ring, in ns (multiple of W).
@@ -71,7 +92,10 @@ pub(crate) struct EventQueue<E> {
     /// Entries living in the ring (not `current`, not `overflow`).
     ring_len: usize,
     /// Far future: `at >= open_end + NUM_BUCKETS·W`.
-    overflow: BinaryHeap<Reverse<Scheduled<E>>>,
+    overflow: BinaryHeap<Reverse<Key>>,
+    /// Event payloads, addressed by `Key::slot`; freed slots recycle.
+    slab: Vec<Option<E>>,
+    free: Vec<u32>,
     len: usize,
     peak_len: usize,
 }
@@ -85,6 +109,8 @@ impl<E> EventQueue<E> {
             open_end: bucket_width(),
             ring_len: 0,
             overflow: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             len: 0,
             peak_len: 0,
         }
@@ -101,17 +127,27 @@ impl<E> EventQueue<E> {
     }
 
     pub fn push(&mut self, at: SimTime, seq: u64, ev: E) {
-        let entry = Scheduled { at, seq, ev };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                self.slab.push(Some(ev));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let key = Key { at, seq, slot };
         let ns = at.as_nanos();
         if ns < self.open_end {
-            self.current.push(Reverse(entry));
+            self.current.push(Reverse(key));
         } else {
             let k = (ns - self.open_end) >> BUCKET_SHIFT;
             if (k as usize) < NUM_BUCKETS {
-                self.ring[(self.head + k as usize) % NUM_BUCKETS].push(entry);
+                self.ring[(self.head + k as usize) % NUM_BUCKETS].push(Reverse(key));
                 self.ring_len += 1;
             } else {
-                self.overflow.push(Reverse(entry));
+                self.overflow.push(Reverse(key));
             }
         }
         self.len += 1;
@@ -123,15 +159,23 @@ impl<E> EventQueue<E> {
     /// Time of the earliest entry, advancing the wheel as needed.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.prepare_current();
-        self.current.peek().map(|Reverse(s)| s.at)
+        self.current.peek().map(|Reverse(k)| k.at)
     }
 
     /// Remove and return the earliest entry (exact `(at, seq)` order).
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         self.prepare_current();
-        let Reverse(s) = self.current.pop()?;
+        let Reverse(key) = self.current.pop()?;
+        let ev = self.slab[key.slot as usize]
+            .take()
+            .expect("queued key points at an occupied slab slot");
+        self.free.push(key.slot);
         self.len -= 1;
-        Some(s)
+        Some(Scheduled {
+            at: key.at,
+            seq: key.seq,
+            ev,
+        })
     }
 
     /// Make `current` hold the globally earliest entry (if any exist).
@@ -141,7 +185,7 @@ impl<E> EventQueue<E> {
                 // Everything lives in the overflow heap: fast-forward the
                 // wheel to the overflow head instead of stepping bucket by
                 // bucket through empty time.
-                let target = self.overflow.peek().map(|Reverse(s)| s.at.as_nanos());
+                let target = self.overflow.peek().map(|Reverse(k)| k.at.as_nanos());
                 if let Some(t) = target {
                     let aligned = (t >> BUCKET_SHIFT) << BUCKET_SHIFT;
                     if aligned > self.open_end {
@@ -154,14 +198,16 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Open the bucket at `head`: heapify its entries into `current` and
-    /// advance the wheel by one width.
+    /// Open the bucket at `head`: heapify its entries into `current` (an
+    /// `O(n)` batch, not `n` sifts — `current` is empty here, the caller's
+    /// loop condition) and advance the wheel by one width. The spent
+    /// heap's allocation is recycled into the emptied bucket slot.
     fn open_next_bucket(&mut self) {
-        let bucket = &mut self.ring[self.head];
+        debug_assert!(self.current.is_empty(), "bucket opened over a live heap");
+        let bucket = std::mem::take(&mut self.ring[self.head]);
         self.ring_len -= bucket.len();
-        for e in bucket.drain(..) {
-            self.current.push(Reverse(e));
-        }
+        let spent = std::mem::replace(&mut self.current, BinaryHeap::from(bucket));
+        self.ring[self.head] = spent.into_vec();
         self.head = (self.head + 1) % NUM_BUCKETS;
         self.open_end += bucket_width();
         self.refill_from_overflow();
@@ -172,15 +218,15 @@ impl<E> EventQueue<E> {
         let horizon = self
             .open_end
             .saturating_add(NUM_BUCKETS as u64 * bucket_width());
-        while let Some(Reverse(s)) = self.overflow.peek() {
-            let ns = s.at.as_nanos();
+        while let Some(Reverse(k)) = self.overflow.peek() {
+            let ns = k.at.as_nanos();
             if ns >= horizon {
                 break;
             }
-            let Reverse(s) = self.overflow.pop().unwrap();
+            let Reverse(k) = self.overflow.pop().unwrap();
             debug_assert!(ns >= self.open_end, "overflow entry behind the wheel");
-            let k = ((ns - self.open_end) >> BUCKET_SHIFT) as usize;
-            self.ring[(self.head + k) % NUM_BUCKETS].push(s);
+            let idx = ((ns - self.open_end) >> BUCKET_SHIFT) as usize;
+            self.ring[(self.head + idx) % NUM_BUCKETS].push(Reverse(k));
             self.ring_len += 1;
         }
     }
@@ -195,13 +241,34 @@ mod tests {
     use super::*;
     use crate::rng::SimRng;
 
-    /// Reference model: one binary heap.
+    /// Reference model: one binary heap over whole entries.
+    struct RefEntry {
+        at: SimTime,
+        seq: u64,
+        ev: u32,
+    }
+    impl PartialEq for RefEntry {
+        fn eq(&self, other: &Self) -> bool {
+            (self.at, self.seq) == (other.at, other.seq)
+        }
+    }
+    impl Eq for RefEntry {}
+    impl PartialOrd for RefEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for RefEntry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.at, self.seq).cmp(&(other.at, other.seq))
+        }
+    }
     struct Reference {
-        heap: BinaryHeap<Reverse<Scheduled<u32>>>,
+        heap: BinaryHeap<Reverse<RefEntry>>,
     }
     impl Reference {
         fn push(&mut self, at: SimTime, seq: u64, ev: u32) {
-            self.heap.push(Reverse(Scheduled { at, seq, ev }));
+            self.heap.push(Reverse(RefEntry { at, seq, ev }));
         }
         fn pop(&mut self) -> Option<(SimTime, u64, u32)> {
             self.heap.pop().map(|Reverse(s)| (s.at, s.seq, s.ev))
@@ -237,6 +304,17 @@ mod tests {
         assert_eq!(q.peek_time(), None);
         assert!(q.pop().is_none());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn slab_slots_recycle() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            q.push(SimTime::from_nanos(round), round, round);
+            assert_eq!(q.pop().unwrap().ev, round);
+        }
+        // Push/pop cycles reuse the single freed slot instead of growing.
+        assert!(q.slab.len() <= 2, "slab grew to {}", q.slab.len());
     }
 
     /// Randomized interleaving of pushes (including pushes at the time of

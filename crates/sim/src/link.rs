@@ -13,6 +13,7 @@
 //! to 30 % one second into the transfer.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::packet::Packet;
@@ -52,11 +53,18 @@ pub enum LossModel {
     Bernoulli(f64),
     /// Piecewise-constant loss ratio over time: `(from, p)` entries sorted
     /// by `from`; the ratio in force is the last entry whose `from <= now`.
-    /// Before the first entry the ratio is 0.
-    Schedule(Vec<(SimTime, f64)>),
+    /// Before the first entry the ratio is 0. The entries are shared, so
+    /// cloning the model (e.g. applying one schedule to both directions of
+    /// a link) is a refcount bump, not a copy.
+    Schedule(Arc<[(SimTime, f64)]>),
 }
 
 impl LossModel {
+    /// Build a [`LossModel::Schedule`] from `(from, p)` entries.
+    pub fn schedule(entries: Vec<(SimTime, f64)>) -> Self {
+        LossModel::Schedule(entries.into())
+    }
+
     /// The loss probability in force at `now`.
     pub fn ratio_at(&self, now: SimTime) -> f64 {
         match self {
@@ -281,7 +289,7 @@ mod tests {
 
     #[test]
     fn loss_schedule_lookup() {
-        let m = LossModel::Schedule(vec![
+        let m = LossModel::schedule(vec![
             (SimTime::from_secs(1), 0.3),
             (SimTime::from_secs(5), 0.0),
         ]);

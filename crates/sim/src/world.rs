@@ -599,7 +599,10 @@ pub struct Simulator {
     pub core: SimCore,
     nodes: Vec<Box<dyn Node>>,
     scripts: Vec<ScriptFn>,
-    dynamics: Vec<DynAction>,
+    /// Installed dynamics actions, indexed by [`SimEvent::Dyn`]. Each
+    /// entry fires exactly once, so dispatch *takes* the action out of its
+    /// slot instead of cloning it.
+    dynamics: Vec<Option<DynAction>>,
     started: bool,
 }
 
@@ -691,7 +694,7 @@ impl Simulator {
         }
         for entry in script.into_ordered() {
             let idx = self.dynamics.len();
-            self.dynamics.push(entry.action);
+            self.dynamics.push(Some(entry.action));
             self.core.push(entry.at, SimEvent::Dyn(idx));
         }
         Ok(())
@@ -886,7 +889,9 @@ impl Simulator {
                 (self.scripts[idx])(&mut self.core);
             }
             SimEvent::Dyn(idx) => {
-                let action = self.dynamics[idx].clone();
+                let action = self.dynamics[idx]
+                    .take()
+                    .expect("dynamics action dispatched twice");
                 self.apply_dyn(action);
             }
         }
@@ -936,11 +941,10 @@ impl Simulator {
                     self.core.set_queue_policy(link, d, pkts, evict);
                 }
             }
-            DynAction::SetLoss { link, dir, loss } => {
-                for d in dirs(dir) {
-                    self.core.set_loss(link, d, loss.clone());
-                }
-            }
+            DynAction::SetLoss { link, dir, loss } => match dir {
+                Some(d) => self.core.set_loss(link, d, loss),
+                None => self.core.set_loss_both(link, loss),
+            },
             DynAction::SetReorder {
                 link,
                 dir,

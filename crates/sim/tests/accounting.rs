@@ -153,7 +153,7 @@ fn scheduled_loss_transitions_exactly() {
     sim.connect(
         ia,
         ib,
-        LinkCfg::mbps_ms(1000, 1).loss(LossModel::Schedule(vec![(SimTime::from_secs(1), 1.0)])),
+        LinkCfg::mbps_ms(1000, 1).loss(LossModel::schedule(vec![(SimTime::from_secs(1), 1.0)])),
     );
     sim.run();
     let got = sim.node(b).as_any().downcast_ref::<Counter>().unwrap().0;

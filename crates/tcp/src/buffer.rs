@@ -4,7 +4,7 @@
 //! stream). They are used at two levels: per subflow (subflow sequence
 //! space) and once per connection (MPTCP data-sequence space).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::{Bytes, BytesMut};
 
@@ -158,12 +158,22 @@ impl SendBuffer {
 /// Out-of-order reassembly queue for one direction of a stream.
 ///
 /// Segments arrive keyed by stream offset, possibly duplicated, overlapping
-/// or out of order; [`Reassembly::pop_ready`] yields the in-order byte
+/// or out of order; [`Reassembly::pop_next`] yields the in-order byte
 /// stream exactly once.
+///
+/// In-order arrivals (the no-loss steady state, i.e. almost every data
+/// segment of a simulation) bypass the `BTreeMap` entirely: they go
+/// straight into a ring-buffered ready queue whose capacity is retained
+/// across events, so the hot path performs no per-segment allocation.
 #[derive(Debug, Default)]
 pub struct Reassembly {
-    /// Next offset the consumer expects.
+    /// Next offset the consumer expects (end of the ready queue).
     next: u64,
+    /// Stream offset of the first byte in `ready`. Invariant:
+    /// `ready_off + Σ ready lengths == next`.
+    ready_off: u64,
+    /// Contiguous in-order chunks awaiting [`Reassembly::pop_next`].
+    ready: VecDeque<Bytes>,
     /// Pending out-of-order segments, keyed by start offset. Invariant:
     /// entries are disjoint and all end after `next`.
     segs: BTreeMap<u64, Bytes>,
@@ -182,6 +192,8 @@ impl Reassembly {
     pub fn starting_at(next: u64) -> Self {
         Reassembly {
             next,
+            ready_off: next,
+            ready: VecDeque::new(),
             segs: BTreeMap::new(),
             buffered: 0,
         }
@@ -219,6 +231,13 @@ impl Reassembly {
             data = data.slice(skip as usize..);
             off = self.next;
         }
+        // In-order fast path: exactly the expected offset with nothing
+        // buffered out of order — straight into the ready queue, no tree.
+        if off == self.next && self.segs.is_empty() {
+            self.next = off + data.len() as u64;
+            self.ready.push_back(data);
+            return;
+        }
         // Trim against the predecessor segment.
         if let Some((&p_off, p_data)) = self.segs.range(..=off).next_back() {
             let p_end = p_off + p_data.len() as u64;
@@ -255,18 +274,35 @@ impl Reassembly {
         }
         self.buffered += data.len() as u64;
         self.segs.insert(off, data);
-    }
-
-    /// Remove and return the longest in-order prefix now available.
-    pub fn pop_ready(&mut self) -> Vec<Bytes> {
-        let mut out = Vec::new();
-        while let Some((&off, _)) = self.segs.first_key_value() {
-            if off != self.next {
+        // Lift whatever became contiguous into the ready queue.
+        while let Some((&s_off, _)) = self.segs.first_key_value() {
+            if s_off != self.next {
                 break;
             }
-            let (_, data) = self.segs.pop_first().unwrap();
-            self.next += data.len() as u64;
-            self.buffered -= data.len() as u64;
+            let (_, d) = self.segs.pop_first().unwrap();
+            self.next += d.len() as u64;
+            self.buffered -= d.len() as u64;
+            self.ready.push_back(d);
+        }
+    }
+
+    /// Pop the next in-order chunk, with the stream offset of its first
+    /// byte, or `None` when the stream has a hole (or no data) at the
+    /// consumption point.
+    pub fn pop_next(&mut self) -> Option<(u64, Bytes)> {
+        let data = self.ready.pop_front()?;
+        let off = self.ready_off;
+        self.ready_off += data.len() as u64;
+        Some((off, data))
+    }
+
+    /// Remove and return the whole in-order prefix now available.
+    ///
+    /// Convenience for tests and benchmarks; the engine's hot path uses
+    /// the allocation-free [`Reassembly::pop_next`] loop instead.
+    pub fn pop_ready(&mut self) -> Vec<Bytes> {
+        let mut out = Vec::with_capacity(self.ready.len());
+        while let Some((_, data)) = self.pop_next() {
             out.push(data);
         }
         out

@@ -52,12 +52,12 @@ impl<T> Default for Flight<T> {
 }
 
 /// Outcome of processing a cumulative ACK.
-#[derive(Debug)]
-pub struct AckResult<T> {
+#[derive(Clone, Copy, Debug)]
+pub struct AckResult {
     /// Bytes newly acknowledged.
     pub acked_bytes: u64,
-    /// Fully acknowledged segments, in order.
-    pub acked_segs: Vec<SentSeg<T>>,
+    /// Number of segments fully released by this ACK.
+    pub acked_seg_count: usize,
     /// RTT sample from the most recently sent, never-retransmitted,
     /// fully-acked segment (Karn's algorithm).
     pub rtt_sample: Option<Duration>,
@@ -121,10 +121,10 @@ impl<T> Flight<T> {
     /// retransmitted hole, so its delay measures loss recovery, not the
     /// path. Otherwise the sample comes from the most recently sent
     /// segment in the batch.
-    pub fn on_cum_ack(&mut self, upto: u64, now: SimTime) -> AckResult<T> {
+    pub fn on_cum_ack(&mut self, upto: u64, now: SimTime) -> AckResult {
         let mut res = AckResult {
             acked_bytes: 0,
-            acked_segs: Vec::new(),
+            acked_seg_count: 0,
             rtt_sample: None,
         };
         let mut batch_has_retx = false;
@@ -141,7 +141,7 @@ impl<T> Flight<T> {
             } else {
                 batch_has_retx = true;
             }
-            res.acked_segs.push(seg);
+            res.acked_seg_count += 1;
         }
         if !batch_has_retx {
             if let Some(sent) = newest_sent {
@@ -202,7 +202,7 @@ mod tests {
         assert_eq!(f.bytes_in_flight(), 200);
         let res = f.on_cum_ack(200, t(51));
         assert_eq!(res.acked_bytes, 200);
-        assert_eq!(res.acked_segs.len(), 2);
+        assert_eq!(res.acked_seg_count, 2);
         // Sample from the *last* fully-acked original: sent at 1 ms.
         assert_eq!(res.rtt_sample, Some(Duration::from_millis(50)));
         assert!(f.is_empty());
@@ -214,7 +214,7 @@ mod tests {
         f.on_send(0, 100, t(0), ());
         let res = f.on_cum_ack(40, t(10));
         assert_eq!(res.acked_bytes, 40);
-        assert!(res.acked_segs.is_empty());
+        assert_eq!(res.acked_seg_count, 0);
         assert_eq!(f.bytes_in_flight(), 60);
         assert_eq!(f.oldest_offset(), Some(40));
     }
@@ -258,7 +258,7 @@ mod tests {
         f.on_send(0, 10, t(0), "dss-a");
         f.on_send(10, 10, t(0), "dss-b");
         let res = f.on_cum_ack(10, t(5));
-        assert_eq!(res.acked_segs[0].tag, "dss-a");
+        assert_eq!(res.acked_seg_count, 1);
         assert_eq!(f.oldest().unwrap().tag, "dss-b");
     }
 

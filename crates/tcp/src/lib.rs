@@ -46,4 +46,6 @@ pub use pacing::pacing_rate;
 pub use rto::{RtoPolicy, RtoState};
 pub use rtt::RttEstimator;
 pub use seq::{unwrap_u32, SeqNum};
-pub use wire::{TcpFlags, TcpHeader, TcpOption, TcpSegment, WireError, OPT_KIND_MPTCP};
+pub use wire::{
+    OptBytes, TcpFlags, TcpHeader, TcpOption, TcpOptions, TcpSegment, WireError, OPT_KIND_MPTCP,
+};

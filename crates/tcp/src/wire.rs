@@ -110,8 +110,102 @@ impl std::fmt::Debug for TcpFlags {
     }
 }
 
+/// Maximum bytes of a single option body (40 minus kind and length octets).
+pub const MAX_OPT_BODY_LEN: usize = MAX_OPTIONS_LEN - 2;
+
+/// An option body stored inline, without a heap allocation.
+///
+/// TCP limits the whole options area to 40 bytes, so a single option body
+/// can never exceed 38 — small enough to carry by value. This keeps the
+/// per-segment hot path (one DSS option per data segment and per ACK) free
+/// of `Bytes`/`Vec` churn.
+#[derive(Clone, Copy)]
+pub struct OptBytes {
+    data: [u8; MAX_OPT_BODY_LEN],
+    len: u8,
+}
+
+impl OptBytes {
+    /// Empty body.
+    pub const fn new() -> Self {
+        OptBytes {
+            data: [0; MAX_OPT_BODY_LEN],
+            len: 0,
+        }
+    }
+
+    /// Copy a slice in. Panics if `s` exceeds [`MAX_OPT_BODY_LEN`] — the
+    /// decoder can never produce that (option length is bounded by the
+    /// 40-byte area), so a panic here flags a construction bug.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        assert!(s.len() <= MAX_OPT_BODY_LEN, "option body exceeds 38 bytes");
+        let mut b = OptBytes::new();
+        b.data[..s.len()].copy_from_slice(s);
+        b.len = s.len() as u8;
+        b
+    }
+
+    /// The stored bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[..self.len as usize]
+    }
+
+    /// Append bytes. Panics on overflow past [`MAX_OPT_BODY_LEN`].
+    pub fn push_slice(&mut self, s: &[u8]) {
+        let at = self.len as usize;
+        assert!(at + s.len() <= MAX_OPT_BODY_LEN, "option body overflow");
+        self.data[at..at + s.len()].copy_from_slice(s);
+        self.len += s.len() as u8;
+    }
+}
+
+impl Default for OptBytes {
+    fn default() -> Self {
+        OptBytes::new()
+    }
+}
+
+impl BufMut for OptBytes {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.push_slice(src);
+    }
+}
+
+impl std::ops::Deref for OptBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for OptBytes {
+    fn from(s: &[u8]) -> Self {
+        OptBytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for OptBytes {
+    fn from(s: &[u8; N]) -> Self {
+        OptBytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for OptBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OptBytes {}
+
+impl std::fmt::Debug for OptBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_slice())
+    }
+}
+
 /// A TCP option.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TcpOption {
     /// Maximum segment size (kind 2), SYN-only.
     Mss(u16),
@@ -128,14 +222,127 @@ pub enum TcpOption {
     },
     /// A Multipath TCP option (kind 30); the payload starts with the
     /// 4-bit subtype and is owned by the MPTCP layer.
-    Mptcp(Bytes),
+    Mptcp(OptBytes),
     /// Any option this engine does not understand; round-trips unchanged.
     Unknown {
         /// Option kind byte.
         kind: u8,
         /// Option payload (excluding kind and length bytes).
-        data: Bytes,
+        data: OptBytes,
     },
+}
+
+/// Maximum number of options one header can carry: every parsed option
+/// consumes at least 2 of the 40 option bytes (NOP/EOL are skipped by the
+/// decoder, not stored).
+pub const MAX_TCP_OPTIONS: usize = MAX_OPTIONS_LEN / 2;
+
+/// A fixed-capacity, inline list of TCP options.
+///
+/// Replaces the former `Vec<TcpOption>`: decoding a segment and building
+/// one for transmit both happen for every simulated packet, and the option
+/// list was one heap allocation per event on each side. Capacity
+/// [`MAX_TCP_OPTIONS`] is enough for any wire-valid header, so `push` can
+/// only panic on a construction bug.
+#[derive(Clone, Copy)]
+pub struct TcpOptions {
+    opts: [TcpOption; MAX_TCP_OPTIONS],
+    len: u8,
+}
+
+impl TcpOptions {
+    const FILL: TcpOption = TcpOption::SackPermitted;
+
+    /// Empty list.
+    pub const fn new() -> Self {
+        TcpOptions {
+            opts: [Self::FILL; MAX_TCP_OPTIONS],
+            len: 0,
+        }
+    }
+
+    /// Append an option. Panics past [`MAX_TCP_OPTIONS`].
+    pub fn push(&mut self, opt: TcpOption) {
+        let at = self.len as usize;
+        assert!(at < MAX_TCP_OPTIONS, "too many TCP options");
+        self.opts[at] = opt;
+        self.len += 1;
+    }
+
+    /// The stored options, in wire order.
+    pub fn as_slice(&self) -> &[TcpOption] {
+        &self.opts[..self.len as usize]
+    }
+
+    /// Drop all options.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions::new()
+    }
+}
+
+impl std::ops::Deref for TcpOptions {
+    type Target = [TcpOption];
+    fn deref(&self) -> &[TcpOption] {
+        self.as_slice()
+    }
+}
+
+impl<const N: usize> From<[TcpOption; N]> for TcpOptions {
+    fn from(arr: [TcpOption; N]) -> Self {
+        let mut o = TcpOptions::new();
+        for opt in arr {
+            o.push(opt);
+        }
+        o
+    }
+}
+
+impl From<&[TcpOption]> for TcpOptions {
+    fn from(s: &[TcpOption]) -> Self {
+        let mut o = TcpOptions::new();
+        for opt in s {
+            o.push(*opt);
+        }
+        o
+    }
+}
+
+impl FromIterator<TcpOption> for TcpOptions {
+    fn from_iter<I: IntoIterator<Item = TcpOption>>(iter: I) -> Self {
+        let mut o = TcpOptions::new();
+        for opt in iter {
+            o.push(opt);
+        }
+        o
+    }
+}
+
+impl<'a> IntoIterator for &'a TcpOptions {
+    type Item = &'a TcpOption;
+    type IntoIter = std::slice::Iter<'a, TcpOption>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for TcpOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TcpOptions {}
+
+impl std::fmt::Debug for TcpOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
 }
 
 impl TcpOption {
@@ -168,7 +375,7 @@ pub struct TcpHeader {
     /// Advertised receive window (possibly scaled by a negotiated shift).
     pub window: u16,
     /// Options, in wire order.
-    pub options: Vec<TcpOption>,
+    pub options: TcpOptions,
 }
 
 /// A full TCP segment: header plus payload bytes.
@@ -213,13 +420,13 @@ impl TcpSegment {
     }
 
     /// First MPTCP option payload, if any.
-    pub fn mptcp_opt(&self) -> Option<&Bytes> {
+    pub fn mptcp_opt(&self) -> Option<&OptBytes> {
         self.mptcp_opts().next()
     }
 
     /// All MPTCP option payloads, in wire order (a segment may carry e.g.
     /// a DSS and an ADD_ADDR together).
-    pub fn mptcp_opts(&self) -> impl Iterator<Item = &Bytes> {
+    pub fn mptcp_opts(&self) -> impl Iterator<Item = &OptBytes> {
         self.hdr.options.iter().filter_map(|o| match o {
             TcpOption::Mptcp(b) => Some(b),
             _ => None,
@@ -275,12 +482,12 @@ impl TcpSegment {
                 TcpOption::Mptcp(b) => {
                     buf.put_u8(OPT_KIND_MPTCP);
                     buf.put_u8((2 + b.len()) as u8);
-                    buf.put_slice(b);
+                    buf.put_slice(b.as_slice());
                 }
                 TcpOption::Unknown { kind, data } => {
                     buf.put_u8(*kind);
                     buf.put_u8((2 + data.len()) as u8);
-                    buf.put_slice(data);
+                    buf.put_slice(data.as_slice());
                 }
             }
         }
@@ -295,11 +502,12 @@ impl TcpSegment {
 
     /// Decode from wire bytes.
     ///
-    /// Zero-copy: the input is the reference-counted frame buffer, and the
-    /// returned segment's `payload` and variable-length option bodies are
-    /// Arc-backed [`Bytes::slice`]s of it — a 1400-byte payload is never
-    /// memcpy'd between the sender's `encode` and the receiving
-    /// application. (The small fixed header fields are parsed by value.)
+    /// Allocation-free: the input is the reference-counted frame buffer,
+    /// the returned segment's `payload` is an Arc-backed [`Bytes::slice`]
+    /// of it — a 1400-byte payload is never memcpy'd between the sender's
+    /// `encode` and the receiving application — and options (tens of bytes
+    /// at most, by TCP's 40-byte limit) are parsed into inline
+    /// fixed-capacity storage.
     pub fn decode(b: &Bytes) -> Result<TcpSegment, WireError> {
         if b.len() < TCP_HEADER_LEN {
             return Err(WireError::Truncated);
@@ -315,7 +523,7 @@ impl TcpSegment {
             ack: SeqNum(u32::from_be_bytes([b[8], b[9], b[10], b[11]])),
             flags: TcpFlags::from_byte(b[13]),
             window: u16::from_be_bytes([b[14], b[15]]),
-            options: Vec::new(),
+            options: TcpOptions::new(),
         };
         let mut i = TCP_HEADER_LEN;
         while i < data_offset {
@@ -340,10 +548,10 @@ impl TcpSegment {
                             val: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
                             ecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
                         },
-                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(b.slice(i + 2..i + len)),
+                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(OptBytes::copy_from_slice(body)),
                         _ => TcpOption::Unknown {
                             kind,
-                            data: b.slice(i + 2..i + len),
+                            data: OptBytes::copy_from_slice(body),
                         },
                     };
                     hdr.options.push(opt);
@@ -376,11 +584,11 @@ mod tests {
             ack: SeqNum(0x0102_0304),
             flags: TcpFlags::SYN_ACK,
             window: 65_535,
-            options: vec![
+            options: TcpOptions::from([
                 TcpOption::Mss(1400),
                 TcpOption::WindowScale(7),
-                TcpOption::Mptcp(Bytes::from_static(&[0x00, 0x81, 1, 2, 3, 4, 5, 6, 7, 8])),
-            ],
+                TcpOption::Mptcp(OptBytes::from(&[0x00, 0x81, 1, 2, 3, 4, 5, 6, 7, 8])),
+            ]),
         }
     }
 
@@ -464,7 +672,7 @@ mod tests {
     fn decode_rejects_bad_option_len() {
         let seg = TcpSegment {
             hdr: TcpHeader {
-                options: vec![TcpOption::Mss(1400)],
+                options: TcpOptions::from([TcpOption::Mss(1400)]),
                 ..Default::default()
             },
             payload: Bytes::new(),
@@ -483,10 +691,12 @@ mod tests {
     }
 
     #[test]
-    fn decode_payload_and_options_alias_the_frame_allocation() {
-        // Zero-copy receive path: the decoded payload and MPTCP option
-        // bodies must point *into* the frame's backing allocation, not to
-        // fresh copies.
+    fn decode_payload_aliases_the_frame_allocation() {
+        // Zero-copy receive path: the decoded payload must point *into*
+        // the frame's backing allocation, not to a fresh copy. (Option
+        // bodies are parsed into inline fixed-size storage instead — 38
+        // bytes at most — so the decode path performs no allocation at
+        // all.)
         let seg = TcpSegment {
             hdr: sample_header(),
             payload: Bytes::from(vec![0xAB; 1400]),
@@ -504,22 +714,23 @@ mod tests {
         // The payload sits right where encode wrote it.
         assert_eq!(p - frame, wire.len() - back.payload.len());
 
+        // Option bodies still round-trip byte-for-byte.
         let opt = back.mptcp_opt().unwrap();
-        let o = opt.as_ptr() as usize;
-        assert!(
-            o >= frame && o + opt.len() <= frame_end,
-            "MPTCP option body must alias the frame too"
-        );
+        assert_eq!(opt.as_slice(), &[0x00, 0x81, 1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]
     fn encode_rejects_oversized_options() {
+        // No single option body can exceed 38 bytes (that is a
+        // construction panic, not a wire error), but several legal options
+        // together can still blow the 40-byte area.
+        let big = TcpOption::Unknown {
+            kind: 99,
+            data: OptBytes::from(&[0u8; 20]),
+        };
         let seg = TcpSegment {
             hdr: TcpHeader {
-                options: vec![TcpOption::Unknown {
-                    kind: 99,
-                    data: Bytes::from(vec![0u8; 39]),
-                }],
+                options: TcpOptions::from([big, big]),
                 ..Default::default()
             },
             payload: Bytes::new(),
@@ -528,13 +739,19 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "option body exceeds 38 bytes")]
+    fn oversized_option_body_panics_at_construction() {
+        let _ = OptBytes::copy_from_slice(&[0u8; 39]);
+    }
+
+    #[test]
     fn unknown_options_roundtrip() {
         let seg = TcpSegment {
             hdr: TcpHeader {
-                options: vec![TcpOption::Unknown {
+                options: TcpOptions::from([TcpOption::Unknown {
                     kind: 254,
-                    data: Bytes::from_static(&[1, 2, 3]),
-                }],
+                    data: OptBytes::from(&[1, 2, 3]),
+                }]),
                 ..Default::default()
             },
             payload: Bytes::new(),
@@ -559,7 +776,7 @@ mod tests {
         // WindowScale alone (3 bytes) forces one NOP of padding.
         let seg = TcpSegment {
             hdr: TcpHeader {
-                options: vec![TcpOption::WindowScale(2)],
+                options: TcpOptions::from([TcpOption::WindowScale(2)]),
                 ..Default::default()
             },
             payload: Bytes::from_static(b"x"),
@@ -584,14 +801,14 @@ mod prop {
             Just(TcpOption::SackPermitted),
             (any::<u32>(), any::<u32>()).prop_map(|(val, ecr)| TcpOption::Timestamps { val, ecr }),
             proptest::collection::vec(any::<u8>(), 0..18)
-                .prop_map(|v| TcpOption::Mptcp(Bytes::from(v))),
+                .prop_map(|v| TcpOption::Mptcp(OptBytes::from(&v[..]))),
             (5u8..=253, proptest::collection::vec(any::<u8>(), 0..10))
                 .prop_filter("kinds with dedicated decodings", |(kind, data)| {
                     *kind != OPT_KIND_MPTCP && !(*kind == 8 && data.len() == 8)
                 })
                 .prop_map(|(kind, data)| TcpOption::Unknown {
                     kind,
-                    data: Bytes::from(data),
+                    data: OptBytes::from(&data[..]),
                 }),
         ]
     }
@@ -616,16 +833,16 @@ mod prop {
                         ack: SeqNum(ack),
                         flags: TcpFlags::from_byte(flags),
                         window,
-                        options,
+                        options: TcpOptions::from(&options[..]),
                     },
                     payload: Bytes::from(payload),
                 },
             )
     }
 
-    /// The pre-zero-copy decoder, kept as a reference model: identical
-    /// parsing logic, but every variable-length field is copied out into
-    /// its own allocation (`Bytes::from(..to_owned())`).
+    /// The original decoder, kept as a reference model: identical parsing
+    /// logic, but the payload is copied out into its own allocation and
+    /// options are accumulated through a plain `Vec` before conversion.
     fn copying_decode(b: &[u8]) -> Result<TcpSegment, WireError> {
         if b.len() < TCP_HEADER_LEN {
             return Err(WireError::Truncated);
@@ -634,15 +851,7 @@ mod prop {
         if data_offset < TCP_HEADER_LEN || data_offset > b.len() {
             return Err(WireError::BadDataOffset);
         }
-        let mut hdr = TcpHeader {
-            src_port: u16::from_be_bytes([b[0], b[1]]),
-            dst_port: u16::from_be_bytes([b[2], b[3]]),
-            seq: SeqNum(u32::from_be_bytes([b[4], b[5], b[6], b[7]])),
-            ack: SeqNum(u32::from_be_bytes([b[8], b[9], b[10], b[11]])),
-            flags: TcpFlags::from_byte(b[13]),
-            window: u16::from_be_bytes([b[14], b[15]]),
-            options: Vec::new(),
-        };
+        let mut options: Vec<TcpOption> = Vec::new();
         let mut i = TCP_HEADER_LEN;
         while i < data_offset {
             let kind = b[i];
@@ -666,17 +875,26 @@ mod prop {
                             val: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
                             ecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
                         },
-                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(Bytes::from(body.to_owned())),
+                        (OPT_KIND_MPTCP, _) => TcpOption::Mptcp(OptBytes::from(body)),
                         _ => TcpOption::Unknown {
                             kind,
-                            data: Bytes::from(body.to_owned()),
+                            data: OptBytes::from(body),
                         },
                     };
-                    hdr.options.push(opt);
+                    options.push(opt);
                     i += len;
                 }
             }
         }
+        let hdr = TcpHeader {
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            seq: SeqNum(u32::from_be_bytes([b[4], b[5], b[6], b[7]])),
+            ack: SeqNum(u32::from_be_bytes([b[8], b[9], b[10], b[11]])),
+            flags: TcpFlags::from_byte(b[13]),
+            window: u16::from_be_bytes([b[14], b[15]]),
+            options: TcpOptions::from(&options[..]),
+        };
         Ok(TcpSegment {
             hdr,
             payload: Bytes::from(b[data_offset..].to_owned()),

@@ -17,10 +17,65 @@
 #![warn(missing_docs)]
 
 use std::borrow::Borrow;
+use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem;
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::{Arc, OnceLock};
+
+/// Buffers above this capacity are dropped rather than pooled: the
+/// simulator's packets top out around the MTU, so hoarding one-off large
+/// buffers (whole-stream send-buffer chunks) would only waste memory.
+const POOL_MAX_CAP: usize = 1 << 16;
+/// Upper bound on pooled buffers per thread. Steady-state packet traffic
+/// needs tens of buffers (one per packet in flight inside a single event
+/// step); the bound only caps pathological churn.
+const POOL_MAX_BUFS: usize = 1024;
+
+thread_local! {
+    /// Per-thread free list of retired backing buffers.
+    ///
+    /// Stored as `Arc<Vec<u8>>` with strong count 1, so a recycled buffer
+    /// reuses *both* allocations a `BytesMut::with_capacity` + `freeze`
+    /// round trip would otherwise make (the byte storage and the Arc
+    /// control block). Thread-local means no locking on the hot path; a
+    /// buffer freed on a different thread than it was allocated on simply
+    /// joins that thread's pool.
+    static POOL: RefCell<Vec<Arc<Vec<u8>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pop a recycled buffer with at least `cap` capacity, or allocate.
+fn pool_get(cap: usize) -> Arc<Vec<u8>> {
+    if cap <= POOL_MAX_CAP {
+        let popped = POOL.with(|p| p.borrow_mut().pop());
+        if let Some(mut arc) = popped {
+            let v = Arc::get_mut(&mut arc).expect("pooled buffer is uniquely owned");
+            v.clear();
+            // May grow a smaller recycled buffer; after warm-up the pool
+            // converges on packet-sized capacities and this is free.
+            v.reserve(cap);
+            return arc;
+        }
+    }
+    Arc::new(Vec::with_capacity(cap))
+}
+
+/// Retire a backing buffer into the thread-local pool, if worth keeping.
+fn pool_put(mut arc: Arc<Vec<u8>>) {
+    if let Some(v) = Arc::get_mut(&mut arc) {
+        if v.capacity() == 0 || v.capacity() > POOL_MAX_CAP {
+            return;
+        }
+        v.clear();
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < POOL_MAX_BUFS {
+                p.push(arc);
+            }
+        });
+    }
+}
 
 /// A cheaply cloneable, immutable slice of reference-counted bytes.
 ///
@@ -33,6 +88,11 @@ use std::sync::{Arc, OnceLock};
 /// `Bytes::from(vec)` / [`BytesMut::freeze`] *move* the vector instead of
 /// copying it into a fresh slice allocation — freezing an encoded segment
 /// must not memcpy the payload a second time.
+///
+/// Dropping the last reference returns the backing buffer to a
+/// thread-local pool (`POOL` in this module); together with the pool-aware
+/// [`BytesMut::with_capacity`], a steady-state packet cycle
+/// (encode → transmit → decode → drop) performs no heap allocation.
 #[derive(Clone)]
 pub struct Bytes {
     buf: Arc<Vec<u8>>,
@@ -44,6 +104,16 @@ pub struct Bytes {
 fn empty_buf() -> Arc<Vec<u8>> {
     static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
     Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Sole owner (no other Bytes and the static empty buffer is never
+        // at count 1): recycle the backing buffer instead of freeing it.
+        if Arc::strong_count(&self.buf) == 1 {
+            pool_put(mem::replace(&mut self.buf, empty_buf()));
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -158,7 +228,7 @@ impl From<Box<[u8]>> for Bytes {
 
 impl From<BytesMut> for Bytes {
     fn from(v: BytesMut) -> Self {
-        Bytes::from(v.vec)
+        v.freeze()
     }
 }
 
@@ -245,105 +315,152 @@ impl<'a> IntoIterator for &'a Bytes {
 }
 
 /// A growable byte buffer, frozen into [`Bytes`] once written.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Backed by the same `Arc<Vec<u8>>` shape as [`Bytes`] (held at strong
+/// count 1 so mutation through [`Arc::get_mut`] is always possible):
+/// [`BytesMut::with_capacity`] draws from the thread-local buffer pool and
+/// [`BytesMut::freeze`] moves the Arc straight into the `Bytes`, so the
+/// whole encode path allocates nothing once the pool is warm.
 pub struct BytesMut {
-    vec: Vec<u8>,
+    /// Invariant: uniquely owned (strong == 1, no weak refs).
+    buf: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
-    /// An empty buffer.
+    /// An empty buffer (pool-recycled, so usually allocation-free).
     pub fn new() -> Self {
-        BytesMut::default()
+        BytesMut { buf: pool_get(0) }
     }
 
-    /// An empty buffer with `cap` bytes of capacity pre-allocated.
+    /// A buffer with `cap` bytes of capacity, recycled from the
+    /// thread-local pool when one is available.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut {
-            vec: Vec::with_capacity(cap),
-        }
+        BytesMut { buf: pool_get(cap) }
+    }
+
+    fn vec(&self) -> &Vec<u8> {
+        &self.buf
+    }
+
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.buf).expect("BytesMut backing buffer is uniquely owned")
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.vec.len()
+        self.vec().len()
     }
 
     /// True when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.vec.is_empty()
+        self.vec().is_empty()
     }
 
     /// Ensure room for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.vec.reserve(additional);
+        self.vec_mut().reserve(additional);
     }
 
     /// Append a byte slice.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
-        self.vec.extend_from_slice(extend);
+        self.vec_mut().extend_from_slice(extend);
     }
 
     /// Resize to `new_len`, filling new space with `value`.
     pub fn resize(&mut self, new_len: usize, value: u8) {
-        self.vec.resize(new_len, value);
+        self.vec_mut().resize(new_len, value);
     }
 
     /// Truncate to `len` bytes (no-op when already shorter).
     pub fn truncate(&mut self, len: usize) {
-        self.vec.truncate(len);
+        self.vec_mut().truncate(len);
     }
 
     /// Remove all bytes.
     pub fn clear(&mut self) {
-        self.vec.clear();
+        self.vec_mut().clear();
     }
 
-    /// Convert into an immutable [`Bytes`] without copying.
+    /// Convert into an immutable [`Bytes`] without copying: the backing
+    /// Arc moves over as-is, no allocation, no memcpy.
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.vec)
+        let end = self.buf.len();
+        Bytes {
+            buf: self.buf,
+            start: 0,
+            end,
+        }
     }
 }
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        BytesMut::from(&self.vec()[..])
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.vec() == other.vec()
+    }
+}
+
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.vec
+        self.vec()
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.vec
+        self.vec_mut()
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.vec
+        self.vec()
     }
 }
 
 impl From<&[u8]> for BytesMut {
     fn from(v: &[u8]) -> Self {
-        BytesMut { vec: v.to_vec() }
+        let mut b = BytesMut::with_capacity(v.len());
+        b.extend_from_slice(v);
+        b
     }
 }
 
 impl From<Vec<u8>> for BytesMut {
     fn from(v: Vec<u8>) -> Self {
-        BytesMut { vec: v }
+        BytesMut { buf: Arc::new(v) }
     }
 }
 
 impl fmt::Debug for BytesMut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        Bytes::from(self.vec.clone()).fmt(f)
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
     }
 }
 
 impl Extend<u8> for BytesMut {
     fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
-        self.vec.extend(iter);
+        self.vec_mut().extend(iter);
     }
 }
 
@@ -381,15 +498,21 @@ pub trait BufMut {
     fn put_u64_le(&mut self, n: u64) {
         self.put_slice(&n.to_le_bytes());
     }
-    /// Append `cnt` copies of `val`.
+    /// Append `cnt` copies of `val` (chunked; no temporary allocation).
     fn put_bytes(&mut self, val: u8, cnt: usize) {
-        self.put_slice(&vec![val; cnt]);
+        let chunk = [val; 64];
+        let mut left = cnt;
+        while left > 0 {
+            let n = left.min(chunk.len());
+            self.put_slice(&chunk[..n]);
+            left -= n;
+        }
     }
 }
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.vec.extend_from_slice(src);
+        self.vec_mut().extend_from_slice(src);
     }
 }
 
@@ -426,5 +549,47 @@ mod tests {
         m.put_u16_le(0x0102);
         assert_eq!(&m[..], &[0x01, 0x02, 0x02, 0x01]);
         assert_eq!(m.freeze(), Bytes::from(vec![0x01u8, 0x02, 0x02, 0x01]));
+    }
+
+    #[test]
+    fn put_bytes_fills_without_temporaries() {
+        let mut m = BytesMut::new();
+        m.put_bytes(0xAA, 200);
+        assert_eq!(m.len(), 200);
+        assert!(m.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn drop_recycles_backing_buffer_through_the_pool() {
+        // Write, freeze, drop — then the next with_capacity must hand the
+        // same backing storage back (same data pointer), proving the
+        // encode→transmit→drop cycle stops allocating once warm.
+        let mut m = BytesMut::with_capacity(512);
+        m.put_slice(&[7u8; 100]);
+        let frozen = m.freeze();
+        let ptr = frozen.as_ref().as_ptr();
+        drop(frozen);
+        let m2 = BytesMut::with_capacity(256);
+        assert_eq!(m2.as_ref().as_ptr(), ptr, "buffer should be pool-recycled");
+    }
+
+    #[test]
+    fn shared_buffers_are_not_recycled_while_referenced() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let s = b.slice(1..3);
+        let ptr = b.as_ref().as_ptr();
+        drop(b); // `s` still references the buffer: must NOT hit the pool
+        let fresh = BytesMut::with_capacity(4);
+        assert_ne!(fresh.vec().as_ptr(), ptr);
+        assert_eq!(&s[..], &[2, 3]);
+    }
+
+    #[test]
+    fn oversized_buffers_bypass_the_pool() {
+        let big = Bytes::from(vec![0u8; POOL_MAX_CAP + 1]);
+        let ptr = big.as_ref().as_ptr();
+        drop(big);
+        let m = BytesMut::with_capacity(64);
+        assert_ne!(m.vec().as_ptr(), ptr);
     }
 }
